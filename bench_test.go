@@ -1,0 +1,219 @@
+// Package bench holds the benchmark harness: one testing.B benchmark per
+// paper table/figure (regenerating its data at reduced scale — run
+// cmd/experiments for paper-scale output files) plus microbenchmarks for
+// the performance claims of §I and §IV-E.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"simmr/internal/experiments"
+	"simmr/internal/sched"
+	"simmr/internal/synth"
+	"simmr/pkg/simmr"
+)
+
+// BenchmarkEngineEventThroughput measures raw simulator-engine speed in
+// events per second over a production-like workload. The paper claims
+// "SimMR can process over one million events per second" (§I); see the
+// reported events/sec metric.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := synth.ProductionTrace(200, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkMumakEventThroughput is the baseline counterpart: Mumak's
+// heartbeat-level simulation processes far more events for the same
+// trace (the cause of Figure 6's gap).
+func BenchmarkMumakEventThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := synth.ProductionTrace(50, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := simmr.ReplayMumak(simmr.DefaultMumakConfig(), tr, simmr.NewFIFO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFigure1WaveProgress regenerates the Figure 1 task-progress
+// series (WordCount, 128x128 slots).
+func BenchmarkFigure1WaveProgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2WaveProgress regenerates Figure 2 (64x64 slots).
+func BenchmarkFigure2WaveProgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3DurationCDFs regenerates the Figure 3 phase-duration
+// CDF comparison across allocations.
+func BenchmarkFigure3DurationCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIKLDivergence regenerates Table I at 2 executions per
+// application (5 at paper scale).
+func BenchmarkTableIKLDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(2, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5aAccuracyFIFO regenerates the Figure 5(a) accuracy
+// panel (testbed run + profile + SimMR and Mumak replays, all six apps).
+func BenchmarkFigure5aAccuracyFIFO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5FIFO(1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5bAccuracyMinEDF regenerates Figure 5(b).
+func BenchmarkFigure5bAccuracyMinEDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5MinEDF(1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5cAccuracyMaxEDF regenerates Figure 5(c).
+func BenchmarkFigure5cAccuracyMaxEDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5MaxEDF(1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6SimulatorSpeed regenerates the Figure 6 speed
+// comparison at a 60-job scale (1148 at paper scale).
+func BenchmarkFigure6SimulatorSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(60, []int{20, 60}, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7DeadlineSweepReal regenerates a reduced Figure 7 sweep
+// (two arrival rates, two deadline factors, 2 repetitions; the paper
+// uses six rates, three factors, 400 repetitions).
+func BenchmarkFigure7DeadlineSweepReal(b *testing.B) {
+	cfg := experiments.DefaultFigure7Config()
+	cfg.InterArrivalMeans = []float64{10, 1000}
+	cfg.DeadlineFactors = []float64{1.5, 3}
+	cfg.Repetitions = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8DeadlineSweepFacebook regenerates a reduced Figure 8
+// sweep over the synthetic Facebook workload.
+func BenchmarkFigure8DeadlineSweepFacebook(b *testing.B) {
+	cfg := experiments.DefaultFigure8Config()
+	cfg.InterArrivalMeans = []float64{10, 1000}
+	cfg.DeadlineFactors = []float64{1.5, 2}
+	cfg.Repetitions = 2
+	cfg.JobsPerRun = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacebookDistributionFit regenerates the §V-C fitting step
+// (LogNormal wins by KS among the candidate families).
+func BenchmarkFacebookDistributionFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FacebookFit("map", 5000, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterEmulator measures the fine-grained testbed emulator on
+// one WordCount run — the expensive side of the validation pipeline.
+func BenchmarkClusterEmulator(b *testing.B) {
+	apps := simmr.PaperApps()
+	spec := apps[3].Spec(0) // Sort/16GB: the quickest full app
+	cfg := simmr.DefaultClusterConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := simmr.RunCluster(cfg, []simmr.ClusterJob{{Spec: spec}}, simmr.NewFIFO(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerDecision isolates one policy decision over a
+// 100-job queue — the inner loop of every allocation round.
+func BenchmarkSchedulerDecision(b *testing.B) {
+	q := make([]*sched.JobInfo, 100)
+	for i := range q {
+		q[i] = &sched.JobInfo{
+			ID: i, Arrival: float64(i), Deadline: float64(1000 + i*7%301),
+			NumMaps: 100, NumReduces: 10, ReduceReady: true,
+		}
+	}
+	policies := []sched.Policy{sched.FIFO{}, sched.MaxEDF{}, sched.MinEDF{}, sched.Fair{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := policies[i%len(policies)]
+		if p.ChooseNextMapTask(q) < 0 {
+			b.Fatal("no job chosen")
+		}
+	}
+}

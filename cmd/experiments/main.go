@@ -1,0 +1,127 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation and writes one tab-separated result file each under
+// -outdir (default results/). See DESIGN.md §4 for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments                      # everything, paper-scale where feasible
+//	experiments -only fig5,fig6      # a subset
+//	experiments -reps 40             # lighter Figure 7/8 sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"simmr/internal/experiments"
+	"simmr/internal/report"
+)
+
+type renderer interface {
+	Render(io.Writer) error
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir    = flag.String("outdir", "results", "output directory")
+		only      = flag.String("only", "", "comma-separated subset: fig1,fig2,fig3,table1,fig5,fig6,fig7,fig8,fit,ablation")
+		seed      = flag.Int64("seed", 1, "random seed")
+		reps      = flag.Int("reps", 400, "repetitions per Figure 7/8 point (paper: 400)")
+		fig5Runs  = flag.Int("fig5-runs", 3, "executions per application for Figure 5 (paper: 3)")
+		table1Exe = flag.Int("table1-executions", 5, "executions per application for Table I (paper: 5)")
+		fig6Jobs  = flag.Int("fig6-jobs", 1148, "production-trace size for Figure 6 (paper: 1148)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	type experiment struct {
+		name, file string
+		run        func() (renderer, error)
+	}
+	list := []experiment{
+		{"fig1", "figure1_waves_128x128.tsv", func() (renderer, error) { return experiments.Figure1(*seed) }},
+		{"fig2", "figure2_waves_64x64.tsv", func() (renderer, error) { return experiments.Figure2(*seed) }},
+		{"fig3", "figure3_duration_cdfs.tsv", func() (renderer, error) { return experiments.Figure3(*seed) }},
+		{"table1", "table1_kl_divergence.tsv", func() (renderer, error) { return experiments.TableI(*table1Exe, *seed) }},
+		{"fig5", "figure5a_accuracy_fifo.tsv", func() (renderer, error) { return experiments.Figure5FIFO(*fig5Runs, *seed) }},
+		{"fig5", "figure5b_accuracy_minedf.tsv", func() (renderer, error) { return experiments.Figure5MinEDF(*fig5Runs, *seed) }},
+		{"fig5", "figure5c_accuracy_maxedf.tsv", func() (renderer, error) { return experiments.Figure5MaxEDF(*fig5Runs, *seed) }},
+		{"fig6", "figure6_simulator_speed.tsv", func() (renderer, error) { return experiments.Figure6(*fig6Jobs, nil, *seed) }},
+		{"fig7", "figure7_deadlines_testbed.tsv", func() (renderer, error) {
+			cfg := experiments.DefaultFigure7Config()
+			cfg.Repetitions = *reps
+			cfg.Seed = *seed
+			return experiments.Figure7(cfg)
+		}},
+		{"fig8", "figure8_deadlines_facebook.tsv", func() (renderer, error) {
+			cfg := experiments.DefaultFigure8Config()
+			cfg.Repetitions = *reps
+			cfg.Seed = *seed
+			return experiments.Figure8(cfg)
+		}},
+		{"fit", "facebook_fit_map.tsv", func() (renderer, error) { return experiments.FacebookFit("map", 20000, *seed) }},
+		{"fit", "facebook_fit_reduce.tsv", func() (renderer, error) { return experiments.FacebookFit("reduce", 20000, *seed) }},
+		{"ablation", "ablation_shuffle_model.tsv", func() (renderer, error) { return experiments.AblationShuffleModel(*seed) }},
+		{"ablation", "ablation_minedf_estimator.tsv", func() (renderer, error) { return experiments.AblationMinEDFEstimator(50, *seed) }},
+		{"ablation", "ablation_mumak_heartbeat.tsv", func() (renderer, error) { return experiments.AblationMumakHeartbeat(100, *seed) }},
+		{"ablation", "ablation_preemption.tsv", func() (renderer, error) { return experiments.AblationPreemption(40, *seed) }},
+		{"workload", "workload_validation.tsv", func() (renderer, error) { return experiments.WorkloadValidation(30, *seed) }},
+		{"ablation", "delay_scheduling_study.tsv", func() (renderer, error) { return experiments.DelayStudy(24, *seed) }},
+	}
+
+	for _, exp := range list {
+		if !want(exp.name) {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %-7s -> %s ...", exp.name, exp.file)
+		res, err := exp.run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, " FAILED")
+			return fmt.Errorf("%s: %w", exp.name, err)
+		}
+		path := filepath.Join(*outDir, exp.file)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: render: %w", exp.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
+	}
+	// Consolidate everything generated so far into one reviewable file.
+	reportPath := filepath.Join(*outDir, "REPORT.md")
+	if err := report.WriteFile(*outDir, reportPath); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", reportPath)
+	return nil
+}

@@ -1,0 +1,236 @@
+// Command simmr replays a MapReduce workload trace through the SimMR
+// simulator engine (or the Mumak-style baseline) with a chosen
+// scheduling policy and prints per-job completion times.
+//
+// Usage:
+//
+//	simmr -trace trace.json [-policy fifo|maxedf|minedf|fair|capacity]
+//	      [-map-slots 64] [-reduce-slots 64] [-slowstart 0.05]
+//	      [-engine simmr|mumak] [-db dir -name trace]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simmr/internal/metrics"
+	"simmr/pkg/simmr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simmr:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		tracePath   = flag.String("trace", "", "path to a trace JSON file")
+		dbDir       = flag.String("db", "", "trace database directory (with -name)")
+		dbName      = flag.String("name", "", "trace name inside -db")
+		policyName  = flag.String("policy", "fifo", "scheduling policy: fifo, maxedf, minedf, fair, capacity")
+		shares      = flag.String("capacity-shares", "0.5,0.5", "comma-separated queue shares for -policy capacity")
+		mapSlots    = flag.Int("map-slots", 64, "cluster map slots")
+		reduceSlots = flag.Int("reduce-slots", 64, "cluster reduce slots")
+		slowstart   = flag.Float64("slowstart", 0.05, "fraction of maps completed before reduces launch")
+		engineKind  = flag.String("engine", "simmr", "simulator: simmr or mumak")
+		verbose     = flag.Bool("v", false, "print per-job lines")
+		timeline    = flag.String("timeline", "", "write a task-progress timeline TSV (simmr engine only)")
+		step        = flag.Float64("step", 0, "timeline sample step in seconds (default: makespan/200)")
+		info        = flag.Bool("info", false, "print trace statistics and exit without simulating")
+		sweep       = flag.String("sweep", "", "comma-separated map-slot counts: replay across cluster sizes and exit")
+		jsonOut     = flag.Bool("json", false, "emit per-job results as JSON lines (simmr engine only)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
+	if err != nil {
+		return err
+	}
+	if *info {
+		printInfo(tr)
+		return nil
+	}
+	if *sweep != "" {
+		return runSweep(tr, *sweep)
+	}
+	policy, err := policyByName(*policyName, *shares)
+	if err != nil {
+		return err
+	}
+
+	switch *engineKind {
+	case "simmr":
+		cfg := simmr.ReplayConfig{
+			MapSlots:               *mapSlots,
+			ReduceSlots:            *reduceSlots,
+			MinMapPercentCompleted: *slowstart,
+			RecordSpans:            *timeline != "",
+		}
+		res, err := simmr.Replay(cfg, tr, policy)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			for _, j := range res.Jobs {
+				if err := enc.Encode(map[string]any{
+					"id": j.ID, "name": j.Name, "arrival": j.Arrival,
+					"finish": j.Finish, "completion": j.CompletionTime(),
+					"deadline": j.Deadline, "missed": j.ExceededDeadline(),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if *verbose {
+			for _, j := range res.Jobs {
+				missed := ""
+				if j.ExceededDeadline() {
+					missed = "\tMISSED-DEADLINE"
+				}
+				fmt.Printf("job %d\t%s\tarrival %.1f\tcompletion %.1f%s\n",
+					j.ID, j.Name, j.Arrival, j.CompletionTime(), missed)
+			}
+		}
+		if *timeline != "" {
+			if err := writeTimeline(*timeline, res, *step); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s\n",
+			len(res.Jobs), res.Makespan, res.Events, policy.Name())
+	case "mumak":
+		res, err := simmr.ReplayMumak(simmr.DefaultMumakConfig(), tr, policy)
+		if err != nil {
+			return err
+		}
+		if *verbose {
+			for _, j := range res.Jobs {
+				fmt.Printf("job %d\t%s\tarrival %.1f\tcompletion %.1f\n",
+					j.ID, j.Name, j.Arrival, j.CompletionTime())
+			}
+		}
+		fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s (mumak baseline)\n",
+			len(res.Jobs), res.Makespan, res.Events, policy.Name())
+	default:
+		return fmt.Errorf("unknown engine %q", *engineKind)
+	}
+	return nil
+}
+
+// writeTimeline renders a Figure 1/2-style task-progress series for the
+// whole replayed workload, with per-phase slot utilization appended.
+func writeTimeline(path string, res *simmr.ReplayResult, step float64) error {
+	var maps, shuffles, reduces []metrics.Interval
+	for _, j := range res.Jobs {
+		for _, s := range j.MapSpans {
+			maps = append(maps, metrics.Interval{Start: s.Start, End: s.End})
+		}
+		for _, s := range j.ReduceSpans {
+			shuffles = append(shuffles, metrics.Interval{Start: s.Start, End: s.ShuffleEnd})
+			reduces = append(reduces, metrics.Interval{Start: s.ShuffleEnd, End: s.End})
+		}
+	}
+	if step <= 0 {
+		step = res.Makespan / 200
+		if step <= 0 {
+			step = 1
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "time\tmap\tshuffle\treduce")
+	for _, p := range metrics.Timeline(maps, shuffles, reduces, res.Makespan, step) {
+		fmt.Fprintf(f, "%.1f\t%d\t%d\t%d\n", p.T, p.Map, p.Shuffle, p.Reduce)
+	}
+	return nil
+}
+
+// runSweep replays the trace across a grid of square cluster sizes.
+func runSweep(tr *simmr.Trace, spec string) error {
+	var counts []int
+	for _, part := range strings.Split(spec, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return fmt.Errorf("bad sweep count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	points, err := simmr.CapacitySweep(tr, simmr.SweepConfig{MapSlotCounts: counts})
+	if err != nil {
+		return err
+	}
+	fmt.Println("map_slots\treduce_slots\tmakespan_s\tmean_completion_s\tmissed_deadlines")
+	for _, p := range points {
+		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\n",
+			p.MapSlots, p.ReduceSlots, p.Makespan, p.MeanCompletion, p.DeadlinesMissed)
+	}
+	return nil
+}
+
+// printInfo renders the operator summary of a trace.
+func printInfo(tr *simmr.Trace) {
+	s := tr.Stats()
+	fmt.Printf("trace %q: %d jobs (%d with deadlines), %d maps, %d reduces\n",
+		tr.Name, s.Jobs, s.WithDeadlines, s.TotalMaps, s.TotalReduces)
+	fmt.Printf("arrival span %.1f s, serial runtime %.1f h\n", s.Span, s.SerialRuntime/3600)
+	fmt.Println("\napp            jobs   maps  reduces  mean-map  mean-shuffle  mean-reduce")
+	for _, name := range s.AppNames {
+		a := s.Apps[name]
+		fmt.Printf("%-14s %4d %6d %8d %8.1fs %12.1fs %11.1fs\n",
+			name, a.Jobs, a.Maps, a.Reduces, a.MeanMapDur, a.MeanShuffleDur, a.MeanReduceDur)
+	}
+}
+
+func loadTrace(path, dbDir, dbName string) (*simmr.Trace, error) {
+	switch {
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return simmr.DecodeTrace(data)
+	case dbDir != "" && dbName != "":
+		db, err := simmr.OpenTraceDB(dbDir)
+		if err != nil {
+			return nil, err
+		}
+		return db.Get(dbName)
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -db DIR -name NAME")
+	}
+}
+
+func policyByName(name, shares string) (simmr.Policy, error) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return simmr.NewFIFO(), nil
+	case "maxedf":
+		return simmr.NewMaxEDF(), nil
+	case "minedf":
+		return simmr.NewMinEDF(), nil
+	case "fair":
+		return simmr.NewFair(), nil
+	case "capacity":
+		var vals []float64
+		for _, part := range strings.Split(shares, ",") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &v); err != nil {
+				return nil, fmt.Errorf("bad capacity share %q", part)
+			}
+			vals = append(vals, v)
+		}
+		return simmr.NewCapacity(vals), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

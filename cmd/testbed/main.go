@@ -1,0 +1,101 @@
+// Command testbed runs the paper's applications on the emulated 66-node
+// Hadoop cluster, optionally writing JobTracker-style history logs (for
+// mrprofiler) — the "real cluster" side of the validation pipeline.
+//
+// Usage:
+//
+//	testbed -app WordCount -dataset 0 -log history.log
+//	testbed -app all -policy fifo -seed 3 -log history.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simmr/pkg/simmr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName = flag.String("app", "all", "application name (WordCount, Sort, Bayes, TFIDF, WikiTrends, Twitter) or 'all'")
+		dataset = flag.Int("dataset", 0, "dataset variant index (0-2)")
+		policy  = flag.String("policy", "fifo", "scheduling policy: fifo, maxedf, minedf")
+		workers = flag.Int("workers", 64, "worker nodes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		logPath = flag.String("log", "", "write JobTracker history logs to this file")
+		gap     = flag.Float64("gap", 0, "inter-arrival gap between jobs in seconds")
+	)
+	flag.Parse()
+
+	var jobs []simmr.ClusterJob
+	arrival := 0.0
+	for _, app := range simmr.PaperApps() {
+		if *appName != "all" && app.Name != *appName {
+			continue
+		}
+		if *dataset < 0 || *dataset >= len(app.Datasets) {
+			return fmt.Errorf("app %s has no dataset %d", app.Name, *dataset)
+		}
+		jobs = append(jobs, simmr.ClusterJob{Spec: app.Spec(*dataset), Arrival: arrival})
+		arrival += *gap
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("unknown application %q", *appName)
+	}
+
+	var pol simmr.Policy
+	switch *policy {
+	case "fifo":
+		pol = simmr.NewFIFO()
+	case "maxedf":
+		pol = simmr.NewMaxEDF()
+	case "minedf":
+		pol = simmr.NewMinEDF()
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	cfg := simmr.DefaultClusterConfig()
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+
+	var logw *simmr.LogWriter
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logw = simmr.NewLogWriter(f)
+	}
+
+	res, err := simmr.RunCluster(cfg, jobs, pol, logw)
+	if err != nil {
+		return err
+	}
+	for _, j := range res.Jobs {
+		fmt.Printf("%-12s %-8s submit %.1f  maps %d  reduces %d  completion %.1f s\n",
+			j.App, j.Dataset, j.Submit, len(j.Maps), len(j.Reduces), j.CompletionTime())
+	}
+	loc := res.LocalityBreakdown()
+	total := 0
+	for _, n := range loc {
+		total += n
+	}
+	if total > 0 {
+		fmt.Printf("map locality: %.0f%% node-local, %.0f%% rack-local, %.0f%% off-rack\n",
+			100*float64(loc[simmr.NodeLocal])/float64(total),
+			100*float64(loc[simmr.RackLocal])/float64(total),
+			100*float64(loc[simmr.OffRack])/float64(total))
+	}
+	fmt.Printf("makespan %.1f s, %d simulated events\n", res.Makespan, res.Events)
+	return nil
+}

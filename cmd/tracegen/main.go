@@ -1,0 +1,94 @@
+// Command tracegen is the Synthetic TraceGen front end (§III-A): it
+// generates replayable workload traces from statistical descriptions.
+//
+// Usage:
+//
+//	tracegen -kind facebook -n 100 -mean-interarrival 60 -out fb.json
+//	tracegen -kind production -n 1148 -out prod.json
+//	tracegen -kind facebook -n 50 -db traces -name fb50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"simmr/pkg/simmr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind   = flag.String("kind", "facebook", "workload kind: facebook or production")
+		spec   = flag.String("spec", "", "JSON workload-description file (overrides -kind)")
+		n      = flag.Int("n", 100, "number of jobs")
+		meanIA = flag.Float64("mean-interarrival", 60, "mean exponential inter-arrival time (facebook kind)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output JSON file (default stdout)")
+		dbDir  = flag.String("db", "", "store into trace database directory (with -name)")
+		dbName = flag.String("name", "", "trace name inside -db")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var tr *simmr.Trace
+	var err error
+	switch {
+	case *spec != "":
+		data, rerr := os.ReadFile(*spec)
+		if rerr != nil {
+			return rerr
+		}
+		wd, perr := simmr.ParseWorkloadDesc(data)
+		if perr != nil {
+			return perr
+		}
+		tr, err = wd.Generate(rng)
+	case *kind == "facebook":
+		tr, err = simmr.GenerateTrace(simmr.FacebookShape(), *n, *meanIA, rng)
+	case *kind == "production":
+		tr, err = simmr.ProductionTrace(*n, rng)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *dbDir != "" {
+		if *dbName == "" {
+			return fmt.Errorf("-db requires -name")
+		}
+		db, err := simmr.OpenTraceDB(*dbDir)
+		if err != nil {
+			return err
+		}
+		tr.Name = *dbName
+		if err := db.Put(tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stored %d-job trace %q in %s\n", len(tr.Jobs), *dbName, *dbDir)
+		return nil
+	}
+
+	data, err := simmr.EncodeTrace(tr)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d-job trace to %s\n", len(tr.Jobs), *out)
+	return nil
+}

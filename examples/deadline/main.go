@@ -1,0 +1,82 @@
+// Deadline schedulers: the paper's §V case study in miniature.
+//
+// Profiles three applications on the emulated testbed, builds a bursty
+// workload where every job carries a deadline 2x its standalone runtime,
+// and compares MaxEDF (grab everything) against MinEDF (grab just enough)
+// on the relative-deadline-exceeded utility.
+//
+//	go run ./examples/deadline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simmr/pkg/simmr"
+)
+
+func main() {
+	apps := simmr.PaperApps()
+	cluster := simmr.DefaultClusterConfig()
+
+	// Profile WordCount, Sort and TFIDF on the emulated testbed: run
+	// each alone under FIFO and extract its template from the run.
+	var templates []*simmr.Template
+	var standalone []float64
+	for _, name := range []string{"WordCount", "Sort", "TFIDF"} {
+		app := appByName(apps, name)
+		res, err := simmr.RunCluster(cluster, []simmr.ClusterJob{{Spec: app.Spec(0)}}, simmr.NewFIFO(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := simmr.ProfileClusterResult(res)
+		templates = append(templates, tr.Jobs[0].Template)
+		standalone = append(standalone, res.Jobs[0].CompletionTime())
+		fmt.Printf("profiled %-10s standalone completion %.0f s\n", name, res.Jobs[0].CompletionTime())
+	}
+
+	// A burst: two copies of each job arrive within 30 s, each with a
+	// deadline of 2x its standalone runtime.
+	tr := &simmr.Trace{Name: "deadline-burst"}
+	arrival := 0.0
+	for copyIdx := 0; copyIdx < 2; copyIdx++ {
+		for i, tpl := range templates {
+			tr.Jobs = append(tr.Jobs, &simmr.Job{
+				Name:     fmt.Sprintf("%s#%d", tpl.AppName, copyIdx),
+				Arrival:  arrival,
+				Deadline: arrival + 2*standalone[i],
+				Template: tpl.Clone(),
+			})
+			arrival += 5
+		}
+	}
+	tr.Normalize()
+
+	fmt.Println("\npolicy  jobs-late  sum((T-D)/D)")
+	for _, policy := range []simmr.Policy{simmr.NewMaxEDF(), simmr.NewMinEDF()} {
+		res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr.Clone(), policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		late, utility := 0, 0.0
+		for _, j := range res.Jobs {
+			if j.ExceededDeadline() {
+				late++
+				rel := j.Deadline - j.Arrival
+				utility += (j.Finish - j.Deadline) / rel
+			}
+		}
+		fmt.Printf("%-7s %9d  %12.3f\n", policy.Name(), late, utility)
+	}
+	fmt.Println("\nMinEDF leaves spare slots for the next arrival, so fewer deadlines slip.")
+}
+
+func appByName(apps []simmr.WorkloadApp, name string) simmr.WorkloadApp {
+	for _, a := range apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	log.Fatalf("unknown app %s", name)
+	return simmr.WorkloadApp{}
+}

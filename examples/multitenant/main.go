@@ -1,0 +1,99 @@
+// Multi-tenant scheduling: the "classes of service" scenario the paper
+// opens with (§I: "jobs are partitioned in different classes of service
+// (e.g., platinum, silver, and bronze at Facebook)"). Instead of running
+// separate clusters per class, compare two single-cluster mechanisms in
+// SimMR:
+//
+//   - Capacity queues with guaranteed shares per class, and
+//
+//   - Dynamic Priority, where classes outbid each other per slot from
+//     spending budgets.
+//
+//     go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simmr/pkg/simmr"
+)
+
+const jobsPerClass = 8
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Build one workload: platinum jobs are small and latency-critical,
+	// bronze jobs are bulky batch work. All arrive interleaved.
+	mk := func(class string, maps int, mapDur simmr.Dist, start, gap float64) []*simmr.Job {
+		var jobs []*simmr.Job
+		for i := 0; i < jobsPerClass; i++ {
+			durs := make([]float64, maps)
+			for d := range durs {
+				durs[d] = mapDur.Sample(rng)
+			}
+			jobs = append(jobs, &simmr.Job{
+				Name:    fmt.Sprintf("%s-%d", class, i),
+				Arrival: start + float64(i)*gap,
+				Template: &simmr.Template{
+					AppName: class, NumMaps: maps, MapDurations: durs,
+				},
+			})
+		}
+		return jobs
+	}
+	platDur, _ := simmr.ParseDist("normal(8,2)")
+	bronzeDur, _ := simmr.ParseDist("normal(30,5)")
+
+	base := &simmr.Trace{Name: "multitenant"}
+	base.Jobs = append(base.Jobs, mk("platinum", 12, platDur, 0, 40)...)
+	base.Jobs = append(base.Jobs, mk("bronze", 96, bronzeDur, 5, 40)...)
+	base.Normalize()
+
+	cfg := simmr.ReplayConfig{MapSlots: 32, ReduceSlots: 8, MinMapPercentCompleted: 0.05}
+
+	// Capacity: platinum guaranteed 60% of the cluster, bronze 40%.
+	capacity := simmr.NewCapacity([]float64{0.6, 0.4})
+	// Dynamic Priority: platinum jobs (even IDs after Normalize? no —
+	// budgets are keyed by job ID, so derive them from the trace).
+	budgets := map[int]float64{}
+	bids := map[int]float64{}
+	for _, j := range base.Jobs {
+		if j.Template.AppName == "platinum" {
+			budgets[j.ID] = 1e6
+			bids[j.ID] = 10
+		} else {
+			budgets[j.ID] = 1e6
+			bids[j.ID] = 1
+		}
+	}
+
+	fmt.Println("policy           platinum-mean  bronze-mean  makespan")
+	for _, p := range []simmr.Policy{
+		simmr.NewFIFO(),
+		capacity,
+		simmr.NewDynamicPriority(budgets, bids),
+	} {
+		res, err := simmr.Replay(cfg, base.Clone(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var platSum, bronzeSum float64
+		var platN, bronzeN int
+		for _, j := range res.Jobs {
+			if len(j.Name) > 0 && j.Name[0] == 'p' {
+				platSum += j.CompletionTime()
+				platN++
+			} else {
+				bronzeSum += j.CompletionTime()
+				bronzeN++
+			}
+		}
+		fmt.Printf("%-16s %11.1f s %10.1f s %8.1f s\n",
+			p.Name(), platSum/float64(platN), bronzeSum/float64(bronzeN), res.Makespan)
+	}
+	fmt.Println("\nDynamic Priority lets platinum outbid bronze per slot, cutting its")
+	fmt.Println("latency without a static cluster split.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small workload trace in code, replay it through
+// the SimMR engine under FIFO, and print per-job completion times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simmr/pkg/simmr"
+)
+
+func main() {
+	// A job template is the paper's replayable unit: per-phase task
+	// durations. Here: 32 maps of ~10 s, 8 reduces with 4 s typical
+	// shuffles and 2 s reduce phases.
+	tpl := &simmr.Template{
+		AppName:         "demo",
+		NumMaps:         32,
+		NumReduces:      8,
+		MapDurations:    repeat(32, 10),
+		FirstShuffle:    repeat(8, 3),
+		TypicalShuffle:  repeat(8, 4),
+		ReduceDurations: repeat(8, 2),
+	}
+
+	// Three instances of the job arriving a minute apart.
+	tr := &simmr.Trace{Name: "quickstart"}
+	for i := 0; i < 3; i++ {
+		tr.Jobs = append(tr.Jobs, &simmr.Job{
+			Name:     fmt.Sprintf("demo-%d", i),
+			Arrival:  float64(i) * 60,
+			Template: tpl.Clone(),
+		})
+	}
+	tr.Normalize()
+
+	// Replay on a 16-map/8-reduce-slot cluster.
+	cfg := simmr.ReplayConfig{MapSlots: 16, ReduceSlots: 8, MinMapPercentCompleted: 0.05}
+	res, err := simmr.Replay(cfg, tr, simmr.NewFIFO())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("job        arrival  completion")
+	for _, j := range res.Jobs {
+		fmt.Printf("%-10s %7.1f  %9.1f s\n", j.Name, j.Arrival, j.CompletionTime())
+	}
+	fmt.Printf("\nmakespan %.1f s, %d simulated events\n", res.Makespan, res.Events)
+}
+
+func repeat(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

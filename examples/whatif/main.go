@@ -1,0 +1,70 @@
+// Capacity planning what-if: the cluster-management task SimMR was
+// built for (§I: "evaluate whether additional resources are required").
+//
+// Given a profiled production job and a completion-time goal, sweep
+// simulated cluster sizes to find the smallest cluster that meets the
+// goal — seconds of simulation instead of hours of testbed runs. Also
+// demonstrates trace scaling (the paper's §VII future work): predicting
+// behaviour on a 2x dataset from the profiled run.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simmr/pkg/simmr"
+)
+
+func main() {
+	// Profile Bayes/43GB once on the emulated testbed.
+	app := simmr.PaperApps()[5] // Bayes
+	res, err := simmr.RunCluster(simmr.DefaultClusterConfig(),
+		[]simmr.ClusterJob{{Spec: app.Spec(0)}}, simmr.NewFIFO(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpl := simmr.ProfileClusterResult(res).Jobs[0].Template
+	fmt.Printf("profiled %s: %d maps, %d reduces, %.0f s on 64+64 slots\n\n",
+		tpl.AppName, tpl.NumMaps, tpl.NumReduces, res.Jobs[0].CompletionTime())
+
+	const goal = 400.0 // seconds
+	fmt.Printf("goal: complete within %.0f s — sweeping cluster sizes:\n", goal)
+	tr := &simmr.Trace{Jobs: []*simmr.Job{{Template: tpl.Clone()}}}
+	tr.Normalize()
+	points, err := simmr.CapacitySweep(tr, simmr.SweepConfig{
+		MapSlotCounts: []int{16, 32, 64, 128, 256},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("slots  predicted  model-low  model-up  meets-goal")
+	for _, p := range points {
+		bounds := simmr.JobBounds(tpl.Profile(), p.MapSlots, p.ReduceSlots)
+		fmt.Printf("%5d  %8.0f s %8.0f s %8.0f s  %v\n",
+			p.MapSlots, p.Makespan, bounds.Low, bounds.Up, p.Makespan <= goal)
+	}
+	if best := simmr.SmallestClusterMeeting(points, goal); best != nil {
+		fmt.Printf("\n-> smallest cluster meeting the goal: %d map + %d reduce slots\n\n",
+			best.MapSlots, best.ReduceSlots)
+	} else {
+		fmt.Println("\n-> no swept size meets the goal")
+	}
+
+	// Future-work bonus: scale the trace to a 2x dataset and re-predict.
+	rng := rand.New(rand.NewSource(7))
+	scaled, err := simmr.ScaleTemplate(tpl, 2, false, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaledTrace := &simmr.Trace{Jobs: []*simmr.Job{{Template: scaled}}}
+	scaledTrace.Normalize()
+	rep, err := simmr.Replay(simmr.DefaultReplayConfig(), scaledTrace, simmr.NewFIFO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace scaling: on a 2x dataset (%d maps) the same cluster is predicted to take %.0f s\n",
+		scaled.NumMaps, rep.Jobs[0].CompletionTime())
+}

@@ -1,0 +1,3 @@
+module simmr
+
+go 1.22

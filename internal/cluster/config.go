@@ -1,0 +1,163 @@
+// Package cluster is a fine-grained emulator of the paper's 66-node
+// Hadoop testbed (§IV-B): per-node TaskTrackers with heartbeats, HDFS
+// block placement with locality-aware map assignment, per-reduce shuffle
+// transfers that overlap the map stage, an external merge-sort cost, and
+// node/task execution-speed jitter.
+//
+// Its role in this reproduction is the role the physical cluster plays
+// in the paper: it produces JobTracker history logs for MRProfiler to
+// turn into traces, and it produces ground-truth job completion times
+// against which SimMR and the Mumak baseline are validated (Figure 5).
+// SimMR itself never consults the emulator's internals — it only sees
+// the extracted traces — so the validation exercises the same pipeline
+// as the paper's.
+package cluster
+
+import "fmt"
+
+// Config describes the emulated cluster hardware and Hadoop settings.
+type Config struct {
+	// Workers is the number of worker nodes (the paper uses 64 workers
+	// plus two master nodes, which are not modeled as task executors).
+	Workers int
+	// MapSlotsPerNode and ReduceSlotsPerNode mirror the testbed's
+	// "single map and reduce slot" per slave (§IV-B).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+
+	// HeartbeatInterval is the TaskTracker heartbeat period in seconds.
+	// Hadoop 0.20 uses 0.3 s for small clusters.
+	HeartbeatInterval float64
+
+	// Racks is the number of racks; nodes are assigned round-robin.
+	// The paper's testbed used two racks interconnected with gigabit
+	// Ethernet (§IV-B). HDFS places the second and third replicas of a
+	// block on a remote rack, and the scheduler prefers node-local over
+	// rack-local over off-rack map assignment, as in Hadoop.
+	Racks int
+
+	// LocalReadMBps / RackLocalReadMBps / RemoteReadMBps are map input
+	// read rates for node-local, same-rack, and cross-rack tasks.
+	LocalReadMBps     float64
+	RackLocalReadMBps float64
+	RemoteReadMBps    float64
+
+	// ShuffleMBps is the per-reduce-task aggregate fetch bandwidth.
+	ShuffleMBps float64
+	// MergeSecPerMB is the external merge-sort cost per MB of shuffled
+	// data (the final merge pass after all fetches).
+	MergeSecPerMB float64
+	// FetchPollInterval is how often an idle reducer polls for newly
+	// completed map outputs. Hadoop reducers learn about finished maps
+	// in rounds, not instantaneously; this is why the non-overlapping
+	// portion of a first-wave shuffle is several seconds even when the
+	// fetch itself kept up with the map stage (Figure 3's 4-9 s range).
+	FetchPollInterval float64
+
+	// Replication is the HDFS replication level (paper: 3).
+	Replication int
+
+	// SlowstartFraction is the fraction of completed maps required
+	// before reduce tasks launch (Hadoop default 0.05).
+	SlowstartFraction float64
+
+	// NodeJitter is the standard deviation of per-node speed factors
+	// around 1.0; TaskJitter the per-task multiplicative noise.
+	// Together they make repeated executions differ realistically,
+	// which Table I quantifies.
+	NodeJitter float64
+	TaskJitter float64
+
+	// DelaySchedulingWait enables delay scheduling (Zaharia et al., the
+	// paper's reference [3]): when the policy's head-of-line job has no
+	// node-local block on the heartbeating node, the job is skipped for
+	// up to this many seconds before accepting a non-local assignment.
+	// Zero disables it (plain Hadoop FIFO locality).
+	DelaySchedulingWait float64
+
+	// SpeculativeExecution enables backup attempts for straggling map
+	// tasks. The paper's testbed disabled speculation ("it did not lead
+	// to any significant improvements", §IV-B); the emulator supports it
+	// so that claim can be checked.
+	SpeculativeExecution bool
+	// SpeculativeSlowFactor is how many times the mean completed-map
+	// duration a task must have been running to count as a straggler.
+	SpeculativeSlowFactor float64
+	// SpeculativeMinCompleted is the minimum number of completed maps
+	// before the job's mean duration is trusted for straggler detection.
+	SpeculativeMinCompleted int
+
+	// Seed drives all randomness (placement, jitter, compute samples).
+	Seed int64
+}
+
+// DefaultConfig returns the paper's testbed: 64 workers, one map and one
+// reduce slot each, 64 MB blocks, replication 3, gigabit-class transfer
+// rates.
+func DefaultConfig() Config {
+	return Config{
+		Workers:            64,
+		MapSlotsPerNode:    1,
+		ReduceSlotsPerNode: 1,
+		HeartbeatInterval:  0.3,
+		Racks:              2,
+		LocalReadMBps:      80,
+		RackLocalReadMBps:  45,
+		RemoteReadMBps:     25,
+		ShuffleMBps:        15,
+		MergeSecPerMB:      0.03,
+		FetchPollInterval:  4,
+		Replication:        3,
+		SlowstartFraction:  0.05,
+		NodeJitter:         0.04,
+		TaskJitter:         0.06,
+		// Speculation off by default, matching the paper's testbed.
+		SpeculativeExecution:    false,
+		SpeculativeSlowFactor:   1.5,
+		SpeculativeMinCompleted: 5,
+		Seed:                    1,
+	}
+}
+
+// Validate checks the configuration is simulatable.
+func (c *Config) Validate() error {
+	switch {
+	case c.Workers <= 0:
+		return fmt.Errorf("cluster: Workers = %d", c.Workers)
+	case c.MapSlotsPerNode < 0 || c.ReduceSlotsPerNode < 0:
+		return fmt.Errorf("cluster: negative slots per node")
+	case c.MapSlotsPerNode == 0 && c.ReduceSlotsPerNode == 0:
+		return fmt.Errorf("cluster: no slots at all")
+	case c.HeartbeatInterval <= 0:
+		return fmt.Errorf("cluster: HeartbeatInterval = %v", c.HeartbeatInterval)
+	case c.Racks <= 0:
+		return fmt.Errorf("cluster: Racks = %d", c.Racks)
+	case c.LocalReadMBps <= 0 || c.RackLocalReadMBps <= 0 || c.RemoteReadMBps <= 0:
+		return fmt.Errorf("cluster: read rates must be positive")
+	case c.ShuffleMBps <= 0:
+		return fmt.Errorf("cluster: ShuffleMBps = %v", c.ShuffleMBps)
+	case c.MergeSecPerMB < 0:
+		return fmt.Errorf("cluster: MergeSecPerMB = %v", c.MergeSecPerMB)
+	case c.FetchPollInterval <= 0:
+		return fmt.Errorf("cluster: FetchPollInterval = %v", c.FetchPollInterval)
+	case c.Replication <= 0:
+		return fmt.Errorf("cluster: Replication = %v", c.Replication)
+	case c.SlowstartFraction < 0 || c.SlowstartFraction > 1:
+		return fmt.Errorf("cluster: SlowstartFraction = %v", c.SlowstartFraction)
+	case c.NodeJitter < 0 || c.TaskJitter < 0:
+		return fmt.Errorf("cluster: negative jitter")
+	case c.DelaySchedulingWait < 0:
+		return fmt.Errorf("cluster: DelaySchedulingWait = %v", c.DelaySchedulingWait)
+	case c.SpeculativeExecution && c.SpeculativeSlowFactor <= 1:
+		return fmt.Errorf("cluster: SpeculativeSlowFactor = %v, need > 1", c.SpeculativeSlowFactor)
+	case c.SpeculativeExecution && c.SpeculativeMinCompleted < 1:
+		return fmt.Errorf("cluster: SpeculativeMinCompleted = %d, need >= 1", c.SpeculativeMinCompleted)
+	}
+	return nil
+}
+
+// MapSlots returns the cluster-wide number of map slots.
+func (c *Config) MapSlots() int { return c.Workers * c.MapSlotsPerNode }
+
+// ReduceSlots returns the cluster-wide number of reduce slots.
+func (c *Config) ReduceSlots() int { return c.Workers * c.ReduceSlotsPerNode }

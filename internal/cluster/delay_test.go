@@ -1,0 +1,108 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"simmr/internal/cluster"
+	"simmr/internal/sched"
+	"simmr/internal/stats"
+	"simmr/internal/workload"
+)
+
+// smallJobMix builds many small jobs — the workload delay scheduling was
+// designed for (Zaharia et al.: most Facebook jobs are tiny, so strict
+// FIFO head-of-line assignment destroys locality).
+func smallJobMix(n int) []cluster.Job {
+	var jobs []cluster.Job
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, cluster.Job{
+			Name:    "small",
+			Arrival: float64(i) * 2,
+			Spec: workload.Spec{
+				App: "small", Dataset: "d",
+				NumMaps: 8, NumReduces: 0, BlockMB: 64,
+				MapCompute:    stats.Normal{Mu: 6, Sigma: 1},
+				Selectivity:   0,
+				ReduceCompute: stats.Constant{V: 1},
+			},
+		})
+	}
+	return jobs
+}
+
+func localityFraction(res *cluster.Result) float64 {
+	loc := res.LocalityBreakdown()
+	total := 0
+	for _, n := range loc {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(loc[cluster.NodeLocal]) / float64(total)
+}
+
+func TestDelaySchedulingImprovesLocality(t *testing.T) {
+	run := func(wait float64) float64 {
+		cfg := cluster.DefaultConfig()
+		cfg.Workers = 16
+		cfg.DelaySchedulingWait = wait
+		res, err := cluster.Run(cfg, smallJobMix(24), sched.Fair{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return localityFraction(res)
+	}
+	without := run(0)
+	with := run(5)
+	if with < without {
+		t.Fatalf("delay scheduling reduced locality: %.2f -> %.2f", without, with)
+	}
+	if with < 0.85 {
+		t.Fatalf("delay scheduling should push locality high on small jobs: %.2f", with)
+	}
+}
+
+func TestDelaySchedulingValidation(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.DelaySchedulingWait = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative wait should fail")
+	}
+}
+
+func TestDelaySchedulingStillCompletesEverything(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 8
+	cfg.DelaySchedulingWait = 3
+	res, err := cluster.Run(cfg, smallJobMix(12), sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range res.Jobs {
+		if jr.Finish <= 0 {
+			t.Fatalf("job %d never finished under delay scheduling", i)
+		}
+	}
+}
+
+func TestDelaySchedulingEventuallyAcceptsNonLocal(t *testing.T) {
+	// One job whose blocks all live on nodes 0-2 of a 16-node cluster
+	// can't be fully node-local; with a short wait it must still finish
+	// promptly rather than stall.
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 16
+	cfg.DelaySchedulingWait = 1
+	cfg.Replication = 1 // scarce replicas: non-local work guaranteed
+	res, err := cluster.Run(cfg, smallJobMix(6), sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no progress")
+	}
+	loc := res.LocalityBreakdown()
+	if loc[cluster.RackLocal]+loc[cluster.OffRack] == 0 {
+		t.Log("note: all tasks node-local even with replication 1 (possible but unlikely)")
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"simmr/internal/sched"
+)
+
+func TestRackConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Racks = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero racks should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.RackLocalReadMBps = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero rack-local rate should fail")
+	}
+}
+
+func TestReplicaPlacementSpansTwoRacks(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Workers = 16 // 8 per rack
+	s, err := New(cfg, []Job{{Spec: smallSpec(64, 0)}}, sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj := s.jobs[0]
+	for task, reps := range sj.replicaSets {
+		racks := map[int]bool{}
+		distinct := 0
+		for n := range reps {
+			racks[s.rackOf(n)] = true
+			distinct++
+		}
+		if distinct != cfg.Replication {
+			t.Fatalf("task %d: %d replicas, want %d", task, distinct, cfg.Replication)
+		}
+		if len(racks) != 2 {
+			t.Fatalf("task %d: replicas on %d racks, want 2 (HDFS placement)", task, len(racks))
+		}
+	}
+}
+
+func TestSingleRackPlacementStillWorks(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Racks = 1
+	res, err := Run(cfg, []Job{{Spec: smallSpec(16, 2)}}, sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Finish <= 0 {
+		t.Fatal("job did not finish on single-rack cluster")
+	}
+	for _, m := range res.Jobs[0].Maps {
+		if m.Locality == RackLocal {
+			// With one rack every non-node-local read is still same-rack;
+			// pickMapTask labels those RackLocal, which is acceptable,
+			// but OffRack must not appear.
+			continue
+		}
+	}
+}
+
+func TestLocalityLevelsObserved(t *testing.T) {
+	// A busy cluster should produce mostly node-local tasks with some
+	// rack-local/off-rack spillover.
+	cfg := DefaultConfig()
+	cfg.Workers = 16
+	res, err := Run(cfg, []Job{{Spec: smallSpec(256, 0)}}, sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Locality]int{}
+	for _, m := range res.Jobs[0].Maps {
+		counts[m.Locality]++
+		if m.Local != (m.Locality == NodeLocal) {
+			t.Fatal("Local flag inconsistent with Locality")
+		}
+	}
+	if counts[NodeLocal] == 0 {
+		t.Fatal("no node-local tasks at all")
+	}
+	if counts[NodeLocal] < len(res.Jobs[0].Maps)/2 {
+		t.Fatalf("node locality too rare: %v", counts)
+	}
+}
+
+func TestRackLocalFasterThanOffRack(t *testing.T) {
+	// Directly check the read-rate ordering through readRateFor.
+	cfg := quietConfig()
+	s, err := New(cfg, []Job{{Spec: smallSpec(4, 0)}}, sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.readRateFor(NodeLocal) > s.readRateFor(RackLocal) &&
+		s.readRateFor(RackLocal) > s.readRateFor(OffRack)) {
+		t.Fatal("read rates not ordered node > rack > off-rack")
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	if NodeLocal.String() != "node-local" || RackLocal.String() != "rack-local" ||
+		OffRack.String() != "off-rack" {
+		t.Fatal("locality names wrong")
+	}
+}
+
+func TestRackOfRoundRobin(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Racks = 2
+	s, err := New(cfg, []Job{{Spec: smallSpec(2, 0)}}, sched.FIFO{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.rackOf(0) == s.rackOf(1) {
+		t.Fatal("adjacent nodes should alternate racks")
+	}
+	if s.rackOf(0) != s.rackOf(2) {
+		t.Fatal("round-robin rack assignment broken")
+	}
+}

@@ -1,0 +1,162 @@
+// Package des provides the discrete-event simulation substrate shared by
+// the SimMR engine, the cluster testbed emulator, and the Mumak baseline.
+//
+// The substrate is deliberately small: simulated time is a float64 number
+// of seconds, events carry an opaque payload, and the event queue is a
+// binary heap ordered by (time, sequence number) so that events scheduled
+// at the same instant fire in FIFO order. Determinism is a design goal:
+// given the same schedule of events, a simulation always unfolds
+// identically.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since simulation start.
+type Time = float64
+
+// Infinity is a sentinel time further in the future than any real event.
+// The SimMR engine uses it for "filler" shuffle tasks whose duration is
+// unknown until the map stage completes.
+const Infinity Time = math.MaxFloat64
+
+// Event is a scheduled occurrence in simulated time. Type and JobID are
+// interpreted by the simulator that owns the queue; Payload carries any
+// extra state the handler needs.
+type Event struct {
+	Time    Time
+	Type    int
+	JobID   int
+	Payload any
+
+	seq   uint64 // tie-breaker: insertion order
+	index int    // heap index; -1 once popped or canceled
+}
+
+// Scheduled reports whether the event is still pending in a queue.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+// String renders the event for logs and test failures.
+func (e *Event) String() string {
+	return fmt.Sprintf("event{t=%.3f type=%d job=%d}", e.Time, e.Type, e.JobID)
+}
+
+// EventQueue is a priority queue of events ordered by time, with FIFO
+// ordering among events at equal times. The zero value is ready to use.
+type EventQueue struct {
+	h       eventHeap
+	nextSeq uint64
+	fired   uint64
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Fired returns the total number of events popped so far. It is the
+// denominator of the "events per second" throughput metric reported in
+// the paper (§I: "SimMR can process over one million events per second").
+func (q *EventQueue) Fired() uint64 { return q.fired }
+
+// Push schedules a new event and returns it. The returned pointer can be
+// used later with Update or Remove (e.g. to patch a filler shuffle).
+func (q *EventQueue) Push(t Time, typ, jobID int, payload any) *Event {
+	e := &Event{Time: t, Type: typ, JobID: jobID, Payload: payload, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Pop removes and returns the earliest event. It panics if the queue is
+// empty; callers must check Len first.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		panic("des: Pop on empty EventQueue")
+	}
+	q.fired++
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *EventQueue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Update changes the firing time of a pending event and restores heap
+// order. It panics if the event is no longer scheduled.
+func (q *EventQueue) Update(e *Event, t Time) {
+	if !e.Scheduled() {
+		panic("des: Update on unscheduled event")
+	}
+	e.Time = t
+	heap.Fix(&q.h, e.index)
+}
+
+// Remove cancels a pending event. It panics if the event is no longer
+// scheduled.
+func (q *EventQueue) Remove(e *Event) {
+	if !e.Scheduled() {
+		panic("des: Remove on unscheduled event")
+	}
+	heap.Remove(&q.h, e.index)
+}
+
+// eventHeap implements heap.Interface ordered by (Time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock tracks the current simulated time and enforces monotonicity.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// AdvanceTo moves the clock forward to t. Moving backward is a
+// programming error and panics: a discrete-event simulation must consume
+// events in nondecreasing time order.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("des: clock moved backward: %.9f -> %.9f", c.now, t))
+	}
+	c.now = t
+}
+
+// Reset rewinds the clock to zero for reuse across simulation runs.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,259 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q EventQueue
+	q.Push(3.0, 0, 0, nil)
+	q.Push(1.0, 0, 1, nil)
+	q.Push(2.0, 0, 2, nil)
+
+	want := []int{1, 2, 0}
+	for i, jobID := range want {
+		e := q.Pop()
+		if e.JobID != jobID {
+			t.Fatalf("pop %d: got job %d, want %d", i, e.JobID, jobID)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestQueueFIFOAtEqualTimes(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 100; i++ {
+		q.Push(5.0, 0, i, nil)
+	}
+	for i := 0; i < 100; i++ {
+		if e := q.Pop(); e.JobID != i {
+			t.Fatalf("equal-time events reordered: got %d at position %d", e.JobID, i)
+		}
+	}
+}
+
+func TestQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	var q EventQueue
+	q.Pop()
+}
+
+func TestPeek(t *testing.T) {
+	var q EventQueue
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue should be nil")
+	}
+	q.Push(2.0, 0, 7, nil)
+	q.Push(1.0, 0, 8, nil)
+	if e := q.Peek(); e.JobID != 8 {
+		t.Fatalf("Peek = job %d, want 8", e.JobID)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestUpdateReordersHeap(t *testing.T) {
+	var q EventQueue
+	a := q.Push(10.0, 0, 0, nil)
+	q.Push(20.0, 0, 1, nil)
+	q.Update(a, 30.0)
+	if e := q.Pop(); e.JobID != 1 {
+		t.Fatalf("after Update, first pop = job %d, want 1", e.JobID)
+	}
+	if e := q.Pop(); e.JobID != 0 || e.Time != 30.0 {
+		t.Fatalf("updated event wrong: %v", e)
+	}
+}
+
+func TestUpdateFillerPattern(t *testing.T) {
+	// The engine schedules a filler at Infinity and later patches it to a
+	// finite time; it must then fire in correct order.
+	var q EventQueue
+	filler := q.Push(Infinity, 1, 42, nil)
+	q.Push(100.0, 0, 1, nil)
+	q.Update(filler, 50.0)
+	if e := q.Pop(); e.JobID != 42 {
+		t.Fatalf("patched filler should fire first, got job %d", e.JobID)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q EventQueue
+	a := q.Push(1.0, 0, 0, nil)
+	q.Push(2.0, 0, 1, nil)
+	q.Remove(a)
+	if a.Scheduled() {
+		t.Fatal("removed event still reports Scheduled")
+	}
+	if e := q.Pop(); e.JobID != 1 {
+		t.Fatalf("got job %d after removal, want 1", e.JobID)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestRemoveUnscheduledPanics(t *testing.T) {
+	var q EventQueue
+	a := q.Push(1.0, 0, 0, nil)
+	q.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove on popped event did not panic")
+		}
+	}()
+	q.Remove(a)
+}
+
+func TestUpdateUnscheduledPanics(t *testing.T) {
+	var q EventQueue
+	a := q.Push(1.0, 0, 0, nil)
+	q.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update on popped event did not panic")
+		}
+	}()
+	q.Update(a, 5)
+}
+
+func TestFiredCounter(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 10; i++ {
+		q.Push(float64(i), 0, i, nil)
+	}
+	for i := 0; i < 4; i++ {
+		q.Pop()
+	}
+	if q.Fired() != 4 {
+		t.Fatalf("Fired = %d, want 4", q.Fired())
+	}
+}
+
+// Property: popping all events yields a nondecreasing time sequence, for
+// any pushed multiset of times.
+func TestQueueSortedDrainProperty(t *testing.T) {
+	prop := func(times []float64) bool {
+		var q EventQueue
+		for i, tm := range times {
+			// Quick can generate NaN-ish values via float64; clamp to finite.
+			if tm != tm {
+				tm = 0
+			}
+			q.Push(tm, 0, i, nil)
+		}
+		prev := -Infinity
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < prev {
+				return false
+			}
+			prev = e.Time
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the drained sequence equals the sorted input (stability aside).
+func TestQueueMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		times := make([]float64, n)
+		var q EventQueue
+		for i := range times {
+			times[i] = float64(rng.Intn(50)) // duplicates likely
+			q.Push(times[i], 0, i, nil)
+		}
+		sort.Float64s(times)
+		for i := 0; i < n; i++ {
+			if e := q.Pop(); e.Time != times[i] {
+				t.Fatalf("trial %d: position %d: got %.1f want %.1f", trial, i, e.Time, times[i])
+			}
+		}
+	}
+}
+
+// Property: random interleaving of pushes, pops, updates and removes never
+// violates heap order.
+func TestQueueRandomOpsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var q EventQueue
+	var live []*Event
+	prev := 0.0
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // push at or after current frontier
+			e := q.Push(prev+rng.Float64()*100, 0, op, nil)
+			live = append(live, e)
+		case r < 7 && q.Len() > 0: // pop
+			e := q.Pop()
+			if e.Time < prev {
+				t.Fatalf("op %d: time went backward %.3f -> %.3f", op, prev, e.Time)
+			}
+			prev = e.Time
+		case r < 9 && len(live) > 0: // update a random live event
+			i := rng.Intn(len(live))
+			if live[i].Scheduled() {
+				q.Update(live[i], prev+rng.Float64()*100)
+			}
+		case q.Len() > 0 && len(live) > 0: // remove a random live event
+			i := rng.Intn(len(live))
+			if live[i].Scheduled() {
+				q.Remove(live[i])
+			}
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(1.5)
+	c.AdvanceTo(1.5) // equal is fine
+	c.AdvanceTo(2.0)
+	if c.Now() != 2.0 {
+		t.Fatalf("Now = %f, want 2.0", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward clock move did not panic")
+		}
+	}()
+	c.AdvanceTo(1.0)
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(10)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset Now = %f", c.Now())
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var q EventQueue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(rng.Float64()*1e6, 0, i, nil)
+		if q.Len() > 1024 {
+			for q.Len() > 0 {
+				q.Pop()
+			}
+		}
+	}
+}

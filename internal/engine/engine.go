@@ -1,0 +1,535 @@
+// Package engine implements the SimMR Simulator Engine (§III-B): a
+// discrete-event simulator that replays job traces while emulating the
+// Hadoop job master's map/reduce slot-allocation decisions across
+// multiple concurrent jobs.
+//
+// Faithful to the paper:
+//
+//   - The engine simulates at task level only — no TaskTrackers, disks,
+//     or network packets. Task latencies come from the trace's job
+//     templates.
+//   - It maintains a priority queue over the paper's seven event types:
+//     job arrival/departure, map/reduce task arrival/departure, and
+//     map-stage completion.
+//   - It talks to the scheduling policy through the narrow two-function
+//     interface ChooseNextMapTask / ChooseNextReduceTask.
+//   - Reduce tasks start once minMapPercentCompleted of the job's maps
+//     have finished. A first-wave reduce occupies its slot through a
+//     "filler" shuffle of unbounded duration; when the map stage
+//     completes, the filler's departure is patched to
+//     mapStageEnd + firstShuffle + reducePhase, which models the
+//     overlapped shuffle exactly (§III-B).
+//   - Tasks are never preempted once a slot is allocated (the cause of
+//     the Figure 7(a) "bump" the paper discusses).
+package engine
+
+import (
+	"fmt"
+
+	"simmr/internal/des"
+	"simmr/internal/sched"
+	"simmr/internal/trace"
+)
+
+// Config parameterizes a replay run.
+type Config struct {
+	// MapSlots and ReduceSlots are the cluster-wide slot counts
+	// (the paper's testbed: 64 and 64).
+	MapSlots    int
+	ReduceSlots int
+
+	// MinMapPercentCompleted is the fraction of a job's map tasks that
+	// must complete before its reduce tasks are scheduled (the
+	// user-settable parameter of §III-B). At least one map must always
+	// complete first. Default 0.05 mirrors Hadoop's slowstart.
+	MinMapPercentCompleted float64
+
+	// RecordSpans enables per-task span capture (needed for the
+	// Figure 1/2 progress plots; off by default to keep replay fast).
+	RecordSpans bool
+
+	// NoShuffleModel is an ablation switch: model reduce tasks the way
+	// Mumak does — reduce runtime = wait-for-all-maps + reduce phase,
+	// with no shuffle at all. Used to quantify how much of SimMR's
+	// accuracy comes from its shuffle modeling (§IV-A discussion).
+	NoShuffleModel bool
+
+	// NoFirstShuffleSpecialCase is a second ablation switch: treat every
+	// shuffle as "typical" (duration counted from the reduce's own
+	// start), ignoring the overlapped first-wave measurement. Isolates
+	// the value of the paper's non-overlapping first-shuffle treatment.
+	NoFirstShuffleSpecialCase bool
+
+	// PreemptMapTasks extends the paper: when a job with an earlier
+	// deadline arrives and no map slots are free, running map tasks of
+	// later-deadline jobs are killed (and later re-executed from
+	// scratch, replaying their recorded durations). The paper attributes
+	// the Figure 7(a) "bump" to the absence of exactly this mechanism
+	// ("the scheduler does not pre-empt tasks themselves"); enabling it
+	// lets that explanation be tested. Only meaningful with
+	// deadline-driven policies.
+	PreemptMapTasks bool
+}
+
+// DefaultConfig returns the paper's validation configuration: 64 map
+// and 64 reduce slots.
+func DefaultConfig() Config {
+	return Config{MapSlots: 64, ReduceSlots: 64, MinMapPercentCompleted: 0.05}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.MapSlots <= 0:
+		return fmt.Errorf("engine: MapSlots = %d", c.MapSlots)
+	case c.ReduceSlots < 0:
+		return fmt.Errorf("engine: ReduceSlots = %d", c.ReduceSlots)
+	case c.MinMapPercentCompleted < 0 || c.MinMapPercentCompleted > 1:
+		return fmt.Errorf("engine: MinMapPercentCompleted = %v", c.MinMapPercentCompleted)
+	}
+	return nil
+}
+
+// The seven event types of §III-B.
+const (
+	evJobArrival = iota
+	evJobDeparture
+	evMapTaskArrival
+	evMapTaskDeparture
+	evReduceTaskArrival
+	evReduceTaskDeparture
+	evMapStageComplete
+)
+
+// Span is a recorded task interval; for reduce tasks ShuffleEnd splits
+// the shuffle/sort phase from the reduce phase.
+type Span struct {
+	Start, End float64
+	ShuffleEnd float64 // reduce tasks only
+}
+
+// JobOutcome reports one replayed job.
+type JobOutcome struct {
+	ID          int
+	Name        string
+	Arrival     float64
+	Finish      float64
+	Deadline    float64
+	MapStageEnd float64
+
+	// Spans are present only when Config.RecordSpans is set.
+	MapSpans    []Span
+	ReduceSpans []Span
+}
+
+// CompletionTime returns finish − arrival.
+func (o *JobOutcome) CompletionTime() float64 { return o.Finish - o.Arrival }
+
+// ExceededDeadline reports whether the job missed its deadline.
+func (o *JobOutcome) ExceededDeadline() bool {
+	return o.Deadline > 0 && o.Finish > o.Deadline
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	Jobs     []JobOutcome
+	Events   uint64
+	Makespan float64
+}
+
+// fillerReduce tracks a first-wave reduce waiting for its job's map
+// stage to complete so its infinite-duration filler can be patched.
+type fillerReduce struct {
+	ev           *des.Event
+	firstShuffle float64
+	reducePhase  float64
+	spanIdx      int
+}
+
+type simJob struct {
+	info *sched.JobInfo
+	tpl  *trace.Template
+	out  JobOutcome
+
+	nextMap      int
+	nextReduce   int
+	firstWave    int // count of first-wave reduces started
+	typicalWave  int // count of typical-wave reduces started
+	slowstartMin int
+
+	// retryMaps holds task indices killed by preemption, re-executed
+	// before fresh indices are drawn.
+	retryMaps []int
+	// runningMaps tracks in-flight map departures by task index, so
+	// preemption can cancel them.
+	runningMaps map[int]*des.Event
+
+	fillers       []fillerReduce
+	mapStageEvent bool // map-stage-complete event already scheduled
+	departed      bool
+}
+
+// Engine replays one trace. Build with New, call Run once.
+type Engine struct {
+	cfg    Config
+	policy sched.Policy
+
+	clock des.Clock
+	q     des.EventQueue
+
+	jobs    []*simJob
+	indexOf map[int]int // job ID -> index in jobs
+	active  []*sched.JobInfo
+
+	freeMap    int
+	freeReduce int
+	remaining  int
+}
+
+// New builds an engine for the trace and policy. The trace is validated
+// and left unmodified.
+func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("engine: nil policy")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		policy:     policy,
+		indexOf:    make(map[int]int, len(tr.Jobs)),
+		freeMap:    cfg.MapSlots,
+		freeReduce: cfg.ReduceSlots,
+		remaining:  len(tr.Jobs),
+	}
+	for _, j := range tr.Jobs {
+		if j.Template.NumReduces > 0 && cfg.ReduceSlots == 0 {
+			return nil, fmt.Errorf("engine: job %d needs reduce slots but cluster has none", j.ID)
+		}
+		slowstart := int(float64(j.Template.NumMaps)*cfg.MinMapPercentCompleted + 0.9999)
+		if slowstart < 1 {
+			slowstart = 1
+		}
+		sj := &simJob{
+			info: &sched.JobInfo{
+				ID: j.ID, Name: j.Name,
+				Arrival: j.Arrival, Deadline: j.Deadline,
+				NumMaps: j.Template.NumMaps, NumReduces: j.Template.NumReduces,
+				Profile: j.Template.Profile(),
+			},
+			tpl: j.Template,
+			out: JobOutcome{
+				ID: j.ID, Name: j.Name,
+				Arrival: j.Arrival, Deadline: j.Deadline,
+			},
+			slowstartMin: slowstart,
+			runningMaps:  make(map[int]*des.Event),
+		}
+		if cfg.RecordSpans {
+			sj.out.MapSpans = make([]Span, j.Template.NumMaps)
+			sj.out.ReduceSpans = make([]Span, j.Template.NumReduces)
+		}
+		e.indexOf[j.ID] = len(e.jobs)
+		e.jobs = append(e.jobs, sj)
+	}
+	return e, nil
+}
+
+// Run replays the trace to completion.
+func (e *Engine) Run() (*Result, error) {
+	for _, sj := range e.jobs {
+		e.q.Push(sj.info.Arrival, evJobArrival, sj.info.ID, nil)
+	}
+	for e.remaining > 0 {
+		if e.q.Len() == 0 {
+			return nil, fmt.Errorf("engine: deadlock: %d jobs unfinished with empty event queue", e.remaining)
+		}
+		ev := e.q.Pop()
+		e.clock.AdvanceTo(ev.Time)
+		if err := e.handle(ev); err != nil {
+			return nil, err
+		}
+		// Drain every event scheduled for this same instant before making
+		// allocation decisions, so simultaneous arrivals and departures
+		// are all visible to the policy (otherwise the first of two
+		// same-time arrivals would grab every slot unconditionally).
+		for e.q.Len() > 0 && e.q.Peek().Time == e.clock.Now() {
+			if err := e.handle(e.q.Pop()); err != nil {
+				return nil, err
+			}
+		}
+		e.allocate()
+	}
+	res := &Result{Events: e.q.Fired()}
+	for _, sj := range e.jobs {
+		res.Jobs = append(res.Jobs, sj.out)
+		if sj.out.Finish > res.Makespan {
+			res.Makespan = sj.out.Finish
+		}
+	}
+	return res, nil
+}
+
+// handle dispatches one event to its handler.
+func (e *Engine) handle(ev *des.Event) error {
+	sj := e.jobs[e.indexOf[ev.JobID]]
+	switch ev.Type {
+	case evJobArrival:
+		e.onJobArrival(sj)
+	case evMapTaskArrival:
+		e.onMapTaskArrival(sj)
+	case evMapTaskDeparture:
+		e.onMapTaskDeparture(sj, ev.Payload.(int))
+	case evMapStageComplete:
+		e.onMapStageComplete(sj)
+	case evReduceTaskArrival:
+		e.onReduceTaskArrival(sj)
+	case evReduceTaskDeparture:
+		e.onReduceTaskDeparture(sj, ev.Payload.(int))
+	case evJobDeparture:
+		e.onJobDeparture(sj)
+	default:
+		return fmt.Errorf("engine: unknown event type %d", ev.Type)
+	}
+	return nil
+}
+
+// allocate is the slot-allocation step run after every event: while free
+// slots remain and the policy nominates jobs, reserve slots and emit
+// task-arrival events.
+func (e *Engine) allocate() {
+	now := e.clock.Now()
+	for e.freeMap > 0 {
+		idx := e.policy.ChooseNextMapTask(e.active)
+		if idx < 0 {
+			break
+		}
+		info := e.active[idx]
+		info.ScheduledMaps++
+		e.freeMap--
+		e.q.Push(now, evMapTaskArrival, info.ID, nil)
+	}
+	for e.freeReduce > 0 {
+		idx := e.policy.ChooseNextReduceTask(e.active)
+		if idx < 0 {
+			break
+		}
+		info := e.active[idx]
+		info.ScheduledReduces++
+		e.freeReduce--
+		e.q.Push(now, evReduceTaskArrival, info.ID, nil)
+	}
+}
+
+func (e *Engine) onJobArrival(sj *simJob) {
+	e.active = append(e.active, sj.info)
+	if aa, ok := e.policy.(sched.ArrivalAware); ok {
+		aa.OnJobArrival(sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
+	}
+	if e.cfg.PreemptMapTasks {
+		e.preemptFor(sj)
+	}
+}
+
+// preemptFor frees map slots for a newly arrived deadline job by killing
+// running map tasks of strictly later-deadline jobs, latest deadline
+// first. Killed tasks return to their job's retry queue and re-execute
+// from scratch with their recorded durations.
+func (e *Engine) preemptFor(sj *simJob) {
+	if sj.info.Deadline <= 0 {
+		return
+	}
+	want := sj.info.PendingMaps()
+	if sj.info.WantedMaps > 0 && sj.info.WantedMaps < want {
+		want = sj.info.WantedMaps
+	}
+	for e.freeMap < want {
+		victim := e.latestDeadlineVictim(sj.info.Deadline)
+		if victim == nil {
+			return
+		}
+		// Kill the victim's most recently scheduled running map (the one
+		// with the most remaining work under FIFO duration replay).
+		var killTask = -1
+		var killEv *des.Event
+		for task, ev := range victim.runningMaps {
+			if killEv == nil || ev.Time > killEv.Time {
+				killTask, killEv = task, ev
+			}
+		}
+		if killEv == nil {
+			return
+		}
+		e.q.Remove(killEv)
+		delete(victim.runningMaps, killTask)
+		victim.retryMaps = append(victim.retryMaps, killTask)
+		victim.info.ScheduledMaps--
+		e.freeMap++
+	}
+}
+
+// latestDeadlineVictim returns the running job with the latest effective
+// deadline strictly later than `than`, or nil.
+func (e *Engine) latestDeadlineVictim(than float64) *simJob {
+	var victim *simJob
+	victimDeadline := than
+	for _, info := range e.active {
+		if info.Deadline <= 0 {
+			// No deadline sorts last under EDF: always preemptible.
+			if sj := e.jobs[e.indexOf[info.ID]]; len(sj.runningMaps) > 0 {
+				return sj
+			}
+			continue
+		}
+		if info.Deadline > victimDeadline {
+			if sj := e.jobs[e.indexOf[info.ID]]; len(sj.runningMaps) > 0 {
+				victim = sj
+				victimDeadline = info.Deadline
+			}
+		}
+	}
+	return victim
+}
+
+func (e *Engine) onMapTaskArrival(sj *simJob) {
+	now := e.clock.Now()
+	var i int
+	if n := len(sj.retryMaps); n > 0 {
+		i = sj.retryMaps[n-1]
+		sj.retryMaps = sj.retryMaps[:n-1]
+	} else {
+		i = sj.nextMap
+		sj.nextMap++
+	}
+	dur := sj.tpl.MapDuration(i)
+	if sj.out.MapSpans != nil {
+		sj.out.MapSpans[i] = Span{Start: now, End: now + dur}
+	}
+	ev := e.q.Push(now+dur, evMapTaskDeparture, sj.info.ID, i)
+	if e.cfg.PreemptMapTasks {
+		sj.runningMaps[i] = ev
+	}
+}
+
+func (e *Engine) onMapTaskDeparture(sj *simJob, task int) {
+	if e.cfg.PreemptMapTasks {
+		delete(sj.runningMaps, task)
+	}
+	sj.info.CompletedMaps++
+	e.freeMap++
+	if !sj.info.ReduceReady && sj.info.CompletedMaps >= sj.slowstartMin {
+		sj.info.ReduceReady = true
+	}
+	if sj.info.MapsDone() && !sj.mapStageEvent {
+		sj.mapStageEvent = true
+		e.q.Push(e.clock.Now(), evMapStageComplete, sj.info.ID, nil)
+	}
+}
+
+func (e *Engine) onMapStageComplete(sj *simJob) {
+	now := e.clock.Now()
+	sj.out.MapStageEnd = now
+	// Patch every filler reduce: its shuffle completes firstShuffle
+	// seconds after the map stage, then its reduce phase runs.
+	for _, f := range sj.fillers {
+		end := now + f.firstShuffle + f.reducePhase
+		e.q.Update(f.ev, end)
+		f.ev.Payload = f.spanIdx
+		if sj.out.ReduceSpans != nil {
+			sj.out.ReduceSpans[f.spanIdx].ShuffleEnd = now + f.firstShuffle
+			sj.out.ReduceSpans[f.spanIdx].End = end
+		}
+	}
+	sj.fillers = nil
+	// Map-only jobs depart here; so do jobs whose reduces all finished
+	// already (possible under the NoFirstShuffleSpecialCase ablation,
+	// where a replayed cold shuffle can end before the map stage).
+	if sj.info.Done() {
+		e.departJob(sj)
+	}
+}
+
+func (e *Engine) onReduceTaskArrival(sj *simJob) {
+	now := e.clock.Now()
+	i := sj.nextReduce
+	sj.nextReduce++
+	reducePhase := sj.tpl.ReduceDuration(i)
+
+	if !sj.info.MapsDone() && !e.cfg.NoFirstShuffleSpecialCase {
+		// First-wave reduce: schedule a filler task of infinite duration
+		// and remember how to patch it when the map stage completes.
+		w := sj.firstWave
+		sj.firstWave++
+		firstShuffle := sj.tpl.FirstShuffleDuration(w)
+		if e.cfg.NoShuffleModel {
+			firstShuffle = 0 // Mumak ablation: reduce starts right at map end
+		}
+		ev := e.q.Push(des.Infinity, evReduceTaskDeparture, sj.info.ID, i)
+		sj.fillers = append(sj.fillers, fillerReduce{
+			ev:           ev,
+			firstShuffle: firstShuffle,
+			reducePhase:  reducePhase,
+			spanIdx:      i,
+		})
+		if sj.out.ReduceSpans != nil {
+			sj.out.ReduceSpans[i] = Span{Start: now}
+		}
+		return
+	}
+	// Typical reduce: full shuffle then reduce phase. Under the
+	// no-first-shuffle ablation this branch also (mis)handles first-wave
+	// reduces, replaying a cold shuffle from the task's own start.
+	w := sj.typicalWave
+	sj.typicalWave++
+	shuffle := sj.tpl.TypicalShuffleDuration(w)
+	if e.cfg.NoShuffleModel {
+		shuffle = 0
+	}
+	end := now + shuffle + reducePhase
+	if sj.out.ReduceSpans != nil {
+		sj.out.ReduceSpans[i] = Span{Start: now, ShuffleEnd: now + shuffle, End: end}
+	}
+	e.q.Push(end, evReduceTaskDeparture, sj.info.ID, i)
+}
+
+func (e *Engine) onReduceTaskDeparture(sj *simJob, _ int) {
+	sj.info.CompletedReduces++
+	e.freeReduce++
+	if sj.info.Done() {
+		e.departJob(sj)
+	}
+}
+
+// departJob schedules the job-departure event (same timestamp; it flows
+// through the queue so departures interleave deterministically).
+func (e *Engine) departJob(sj *simJob) {
+	if sj.departed {
+		return
+	}
+	sj.departed = true
+	e.q.Push(e.clock.Now(), evJobDeparture, sj.info.ID, nil)
+}
+
+func (e *Engine) onJobDeparture(sj *simJob) {
+	sj.out.Finish = e.clock.Now()
+	e.remaining--
+	for i, info := range e.active {
+		if info == sj.info {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// Run is a convenience wrapper: build and run in one call.
+func Run(cfg Config, tr *trace.Trace, policy sched.Policy) (*Result, error) {
+	e, err := New(cfg, tr, policy)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

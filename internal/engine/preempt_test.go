@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"simmr/internal/sched"
+	"simmr/internal/trace"
+)
+
+// An urgent job arriving mid-execution of a relaxed job gets slots
+// immediately when preemption is on, and only after the running wave
+// when it is off.
+func TestPreemptionAdmitsUrgentJobImmediately(t *testing.T) {
+	mk := func(preempt bool) (urgentCompletion float64) {
+		tr := &trace.Trace{Jobs: []*trace.Job{
+			{Name: "lazy", Arrival: 0, Deadline: 10000, Template: uniformTemplate(64, 0, 100, 0, 0, 0)},
+			{Name: "urgent", Arrival: 10, Deadline: 200, Template: uniformTemplate(4, 0, 10, 0, 0, 0)},
+		}}
+		tr.Normalize()
+		cfg := Config{MapSlots: 4, ReduceSlots: 1, MinMapPercentCompleted: 0.05, PreemptMapTasks: preempt}
+		res, err := Run(cfg, tr, sched.MaxEDF{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Jobs[1].CompletionTime()
+	}
+	withPreempt := mk(true)
+	without := mk(false)
+	// Without preemption the urgent job waits for a 100 s map wave
+	// (~90 s remaining); with preemption it starts at once (~10 s).
+	if withPreempt >= without {
+		t.Fatalf("preemption did not help: %v vs %v", withPreempt, without)
+	}
+	if withPreempt > 15 {
+		t.Fatalf("urgent job should run immediately under preemption: %v", withPreempt)
+	}
+}
+
+// Killed tasks must re-execute: the victim still completes all its work.
+func TestPreemptedJobStillCompletesAllTasks(t *testing.T) {
+	tr := &trace.Trace{Jobs: []*trace.Job{
+		{Name: "victim", Arrival: 0, Deadline: 100000, Template: uniformTemplate(12, 2, 50, 2, 3, 1)},
+		{Name: "urgent", Arrival: 5, Deadline: 300, Template: uniformTemplate(4, 0, 10, 0, 0, 0)},
+	}}
+	tr.Normalize()
+	cfg := Config{MapSlots: 4, ReduceSlots: 2, MinMapPercentCompleted: 0.05, PreemptMapTasks: true, RecordSpans: true}
+	res, err := Run(cfg, tr, sched.MaxEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res.Jobs[0]
+	if victim.Finish <= 0 {
+		t.Fatal("victim never finished")
+	}
+	// All 12 map spans must exist with positive extents (re-executed
+	// tasks overwrite their killed spans).
+	for i, s := range victim.MapSpans {
+		if s.End <= s.Start {
+			t.Fatalf("victim map %d has empty span: %+v", i, s)
+		}
+	}
+	// Preemption must cost the victim time: 12 maps x 50 s on 4 slots is
+	// 150 s unpreempted; the kill adds at least part of a wave.
+	if victim.Finish < 150 {
+		t.Fatalf("victim finished impossibly fast: %v", victim.Finish)
+	}
+}
+
+// Preemption only ever helps jobs with deadlines; a no-deadline arrival
+// must not trigger kills.
+func TestNoPreemptionForDeadlinelessArrivals(t *testing.T) {
+	tr := &trace.Trace{Jobs: []*trace.Job{
+		{Name: "a", Arrival: 0, Deadline: 500, Template: uniformTemplate(8, 0, 50, 0, 0, 0)},
+		{Name: "b", Arrival: 5, Template: uniformTemplate(4, 0, 10, 0, 0, 0)},
+	}}
+	tr.Normalize()
+	cfg := Config{MapSlots: 4, ReduceSlots: 1, MinMapPercentCompleted: 0.05, PreemptMapTasks: true}
+	res, err := Run(cfg, tr, sched.MaxEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job a runs 2 waves of 50 s with no interruption.
+	if res.Jobs[0].Finish != 100 {
+		t.Fatalf("deadline job was disturbed: finish %v, want 100", res.Jobs[0].Finish)
+	}
+}
+
+// MinEDF with preemption respects the wanted-slot cap when seizing slots.
+func TestPreemptionHonorsMinEDFCaps(t *testing.T) {
+	tr := &trace.Trace{Jobs: []*trace.Job{
+		// Tight enough that MinEDF wants all 8 slots for the big job
+		// (64 x 50 s / 8 slots = 400 s work, deadline 430).
+		{Name: "big", Arrival: 0, Deadline: 430, Template: uniformTemplate(64, 0, 50, 0, 0, 0)},
+		// Relaxed enough that MinEDF wants a single slot (320 s of work,
+		// 400 s of slack).
+		{Name: "small", Arrival: 5, Deadline: 5 + 400, Template: uniformTemplate(8, 0, 40, 0, 0, 0)},
+	}}
+	tr.Normalize()
+	cfg := Config{MapSlots: 8, ReduceSlots: 1, MinMapPercentCompleted: 0.05, PreemptMapTasks: true, RecordSpans: true}
+	res, err := Run(cfg, tr, sched.MinEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[1].ExceededDeadline() {
+		t.Fatalf("small job missed its deadline: %v > %v", res.Jobs[1].Finish, res.Jobs[1].Deadline)
+	}
+	// The big job should have kept most of its slots: count its peak map
+	// concurrency after t=5.
+	peak := 0
+	for _, s := range res.Jobs[0].MapSpans {
+		if s.Start >= 5 {
+			n := 0
+			mid := (s.Start + s.End) / 2
+			for _, o := range res.Jobs[0].MapSpans {
+				if o.Start <= mid && mid < o.End {
+					n++
+				}
+			}
+			if n > peak {
+				peak = n
+			}
+		}
+	}
+	// The small job wanted one slot, so the big job must keep at least
+	// 8 - 1 - 1 = 6 running after the arrival (one more may be lost to
+	// wave-boundary timing).
+	if peak < 6 {
+		t.Fatalf("preemption seized more slots than MinEDF wanted: big job peak %d", peak)
+	}
+}
+
+// Invariants hold under preemption across random traces.
+func TestPreemptionInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		tr := randomTrace(rng, 6)
+		cfg := Config{
+			MapSlots:               rng.Intn(20) + 1,
+			ReduceSlots:            rng.Intn(20) + 1,
+			MinMapPercentCompleted: 0.05,
+			PreemptMapTasks:        true,
+			RecordSpans:            true,
+		}
+		res, err := Run(cfg, tr, sched.MaxEDF{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var mapSpans []Span
+		for i, out := range res.Jobs {
+			if out.Finish < out.Arrival {
+				t.Fatalf("trial %d job %d: finish before arrival", trial, i)
+			}
+			mapSpans = append(mapSpans, out.MapSpans...)
+		}
+		if peak := peakConcurrency(mapSpans); peak > cfg.MapSlots {
+			t.Fatalf("trial %d: map peak %d > %d slots", trial, peak, cfg.MapSlots)
+		}
+	}
+}

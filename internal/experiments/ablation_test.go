@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationShuffleModel(t *testing.T) {
+	r, err := AblationShuffleModel(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The full model must be the most accurate variant, and dropping the
+	// shuffle entirely must be the least accurate (it reproduces Mumak's
+	// underestimation).
+	if r.FullSummary.AvgPct >= r.NoneSummary.AvgPct {
+		t.Errorf("full model (%.1f%%) should beat no-shuffle (%.1f%%)",
+			r.FullSummary.AvgPct, r.NoneSummary.AvgPct)
+	}
+	if r.FullSummary.AvgPct > r.NoFirstSummary.AvgPct+0.5 {
+		t.Errorf("full model (%.1f%%) should not lose to no-first-shuffle (%.1f%%)",
+			r.FullSummary.AvgPct, r.NoFirstSummary.AvgPct)
+	}
+	// No-shuffle must underestimate consistently.
+	for _, row := range r.Rows {
+		if row.NoShuffleErrPct > 1 {
+			t.Errorf("%s: no-shuffle variant overestimates (%.1f%%)", row.App, row.NoShuffleErrPct)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no_shuffle_err_pct") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAblationMinEDFEstimator(t *testing.T) {
+	r, err := AblationMinEDFEstimator(3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]EstimatorAblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Estimator] = row
+	}
+	// Conservative sizing grants more slots, so jobs complete no later
+	// on average and miss deadlines no more often than optimistic sizing.
+	if byName["up"].MeanCompletion > byName["low"].MeanCompletion {
+		t.Errorf("up-estimator completion %.0f should not exceed low's %.0f",
+			byName["up"].MeanCompletion, byName["low"].MeanCompletion)
+	}
+	if byName["up"].MissFraction > byName["low"].MissFraction {
+		t.Errorf("up-estimator misses %.2f should not exceed low's %.2f",
+			byName["up"].MissFraction, byName["low"].MissFraction)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "miss_fraction") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAblationMinEDFEstimatorValidation(t *testing.T) {
+	if _, err := AblationMinEDFEstimator(0, 1); err == nil {
+		t.Fatal("zero repetitions should fail")
+	}
+}
+
+func TestAblationMumakHeartbeat(t *testing.T) {
+	r, err := AblationMumakHeartbeat(10, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Shorter heartbeats -> strictly more events.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Events >= r.Rows[i-1].Events {
+			t.Errorf("events should fall as the interval grows: %v", r.Rows)
+		}
+	}
+	// Every interval produces vastly more events than SimMR.
+	if r.Rows[len(r.Rows)-1].Events < 2*r.SimMREvents {
+		t.Errorf("even the coarsest Mumak (%d events) should exceed SimMR (%d)",
+			r.Rows[len(r.Rows)-1].Events, r.SimMREvents)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "heartbeat_s") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAblationMumakHeartbeatValidation(t *testing.T) {
+	if _, err := AblationMumakHeartbeat(0, 1); err == nil {
+		t.Fatal("zero jobs should fail")
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"simmr/internal/engine"
+	"simmr/internal/metrics"
+	"simmr/internal/sched"
+	"simmr/internal/synth"
+	"simmr/internal/trace"
+	"simmr/internal/workload"
+)
+
+// DeadlineSweepConfig parameterizes the Figure 7/8 scheduler-comparison
+// experiments.
+type DeadlineSweepConfig struct {
+	// InterArrivalMeans is the x-axis: mean exponential inter-arrival
+	// times in seconds (paper: 1 .. 100000, log scale).
+	InterArrivalMeans []float64
+	// DeadlineFactors are the df values (one panel each; paper Figure 7
+	// uses 1 / 1.5 / 3, Figure 8 uses 1.1 / 1.5 / 2).
+	DeadlineFactors []float64
+	// Repetitions per point (paper: 400).
+	Repetitions int
+	// JobsPerRun bounds the number of jobs per simulation (Figure 7
+	// permutes the 18 profiled jobs; Figure 8 draws this many synthetic
+	// jobs).
+	JobsPerRun int
+	Seed       int64
+}
+
+// DefaultFigure7Config returns the paper's Figure 7 sweep. Repetitions
+// default to 400 as in the paper; lower it for quick runs.
+func DefaultFigure7Config() DeadlineSweepConfig {
+	return DeadlineSweepConfig{
+		InterArrivalMeans: []float64{1, 10, 100, 1000, 10000, 100000},
+		DeadlineFactors:   []float64{1, 1.5, 3},
+		Repetitions:       400,
+		Seed:              1,
+	}
+}
+
+// DefaultFigure8Config returns the paper's Figure 8 sweep over the
+// synthetic Facebook workload.
+func DefaultFigure8Config() DeadlineSweepConfig {
+	return DeadlineSweepConfig{
+		InterArrivalMeans: []float64{1, 10, 100, 1000, 10000, 100000},
+		DeadlineFactors:   []float64{1.1, 1.5, 2},
+		Repetitions:       400,
+		JobsPerRun:        30,
+		Seed:              1,
+	}
+}
+
+// DeadlineSweepPoint is one (deadline factor, inter-arrival mean) cell:
+// the mean relative-deadline-exceeded utility for both schedulers.
+type DeadlineSweepPoint struct {
+	DeadlineFactor   float64
+	InterArrivalMean float64
+	MaxEDF           float64
+	MinEDF           float64
+}
+
+// DeadlineSweepResult is a full Figure 7 or Figure 8 reproduction.
+type DeadlineSweepResult struct {
+	Name   string
+	Config DeadlineSweepConfig
+	Points []DeadlineSweepPoint
+}
+
+// Figure7 compares MaxEDF and MinEDF on the real testbed workload: the
+// 18 profiled jobs (6 applications × 3 dataset sizes) arriving in random
+// order with exponential inter-arrival times and deadlines uniform in
+// [T_J, df·T_J]. Expected shape (paper §V-B): the two policies coincide
+// at df = 1; MinEDF wins increasingly as df grows; the utility decreases
+// with the arrival rate; a non-preemption "bump" appears near
+// inter-arrival ≈ 100 s at df = 1.
+func Figure7(cfg DeadlineSweepConfig) (*DeadlineSweepResult, error) {
+	pool, baselines, err := testbedJobPool(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gen := func(rep int, rng *rand.Rand, meanIA float64) (*trace.Trace, []float64) {
+		// Equally probable random permutation of the profiled jobs.
+		perm := rng.Perm(len(pool))
+		tr := &trace.Trace{Name: "fig7"}
+		tj := make([]float64, 0, len(pool))
+		t := 0.0
+		for _, pi := range perm {
+			tr.Jobs = append(tr.Jobs, &trace.Job{Arrival: t, Template: pool[pi]})
+			tj = append(tj, baselines[pi])
+			t += rng.ExpFloat64() * meanIA
+		}
+		return tr, tj
+	}
+	return deadlineSweep("figure7-testbed", cfg, gen)
+}
+
+// Figure8 compares the schedulers on the synthetic Facebook workload
+// (§V-C): task durations from the fitted LogNormal distributions.
+// Expected shape: MinEDF significantly outperforms MaxEDF, consistent
+// with the testbed-trace results.
+func Figure8(cfg DeadlineSweepConfig) (*DeadlineSweepResult, error) {
+	if cfg.JobsPerRun <= 0 {
+		cfg.JobsPerRun = 30
+	}
+	shape := synth.FacebookShape()
+	engCfg := EngineConfig()
+	gen := func(rep int, rng *rand.Rand, meanIA float64) (*trace.Trace, []float64) {
+		tr := &trace.Trace{Name: "fig8"}
+		tj := make([]float64, 0, cfg.JobsPerRun)
+		t := 0.0
+		for i := 0; i < cfg.JobsPerRun; i++ {
+			tpl, err := shape.Generate(rng)
+			if err != nil {
+				// Shape is statically valid; a failure here is a bug.
+				panic(err)
+			}
+			tr.Jobs = append(tr.Jobs, &trace.Job{Arrival: t, Template: tpl})
+			base, err := fullClusterTime(tpl, engCfg)
+			if err != nil {
+				panic(err)
+			}
+			tj = append(tj, base)
+			t += rng.ExpFloat64() * meanIA
+		}
+		return tr, tj
+	}
+	return deadlineSweep("figure8-facebook", cfg, gen)
+}
+
+// testbedJobPool profiles the 18 testbed jobs and computes their
+// full-cluster baselines T_J.
+func testbedJobPool(seed int64) ([]*trace.Template, []float64, error) {
+	var pool []*trace.Template
+	var baselines []float64
+	engCfg := EngineConfig()
+	for ai, app := range workload.Apps() {
+		for di := range app.Datasets {
+			cfg := TestbedConfig(seed + int64(ai*10+di))
+			tpl, _, err := profileSpec(cfg, app.Spec(di))
+			if err != nil {
+				return nil, nil, err
+			}
+			base, err := fullClusterTime(tpl, engCfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			pool = append(pool, tpl)
+			baselines = append(baselines, base)
+		}
+	}
+	return pool, baselines, nil
+}
+
+// traceGen builds one repetition's workload and the per-job T_J
+// baselines (aligned with tr.Jobs order before normalization).
+type traceGen func(rep int, rng *rand.Rand, meanInterArrival float64) (*trace.Trace, []float64)
+
+func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*DeadlineSweepResult, error) {
+	if cfg.Repetitions < 1 {
+		return nil, fmt.Errorf("experiments: %s: repetitions must be >= 1", name)
+	}
+	if len(cfg.InterArrivalMeans) == 0 || len(cfg.DeadlineFactors) == 0 {
+		return nil, fmt.Errorf("experiments: %s: empty sweep axes", name)
+	}
+	out := &DeadlineSweepResult{Name: name, Config: cfg}
+	engCfg := EngineConfig()
+
+	for _, df := range cfg.DeadlineFactors {
+		if df < 1 {
+			return nil, fmt.Errorf("experiments: %s: deadline factor %v < 1", name, df)
+		}
+		for _, meanIA := range cfg.InterArrivalMeans {
+			var sumMax, sumMin float64
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(df*1000) ^ int64(meanIA)))
+			for rep := 0; rep < cfg.Repetitions; rep++ {
+				tr, baselines := gen(rep, rng, meanIA)
+				assignDeadlines(tr, baselines, df, rng)
+				tr.Normalize()
+
+				maxVal, err := runUtility(engCfg, tr, sched.MaxEDF{})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s MaxEDF: %w", name, err)
+				}
+				minVal, err := runUtility(engCfg, tr, sched.MinEDF{})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s MinEDF: %w", name, err)
+				}
+				sumMax += maxVal
+				sumMin += minVal
+			}
+			out.Points = append(out.Points, DeadlineSweepPoint{
+				DeadlineFactor:   df,
+				InterArrivalMean: meanIA,
+				MaxEDF:           sumMax / float64(cfg.Repetitions),
+				MinEDF:           sumMin / float64(cfg.Repetitions),
+			})
+		}
+	}
+	return out, nil
+}
+
+// assignDeadlines draws each job's deadline uniformly in [T_J, df·T_J]
+// past its arrival, using the per-job baselines.
+func assignDeadlines(tr *trace.Trace, baselines []float64, df float64, rng *rand.Rand) {
+	for i, j := range tr.Jobs {
+		rel := baselines[i]
+		if df > 1 {
+			rel += rng.Float64() * baselines[i] * (df - 1)
+		}
+		j.Deadline = j.Arrival + rel
+	}
+}
+
+// runUtility replays the trace with the policy and evaluates the
+// relative-deadline-exceeded utility.
+func runUtility(cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
+	res, err := engine.Run(cfg, tr.Clone(), policy)
+	if err != nil {
+		return 0, err
+	}
+	obs := make([]metrics.DeadlineObservation, 0, len(res.Jobs))
+	for _, j := range res.Jobs {
+		obs = append(obs, metrics.DeadlineObservation{
+			RelCompletion: j.Finish - j.Arrival,
+			RelDeadline:   j.Deadline - j.Arrival,
+		})
+	}
+	return metrics.RelativeDeadlineExceeded(obs), nil
+}
+
+// Render renders one sweep: a block per deadline factor with both
+// policies' utilities per inter-arrival mean.
+func (r *DeadlineSweepResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "# %s: relative deadline exceeded (mean over %d repetitions)\n",
+		r.Name, r.Config.Repetitions)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			f2(p.DeadlineFactor), f1(p.InterArrivalMean), f3(p.MaxEDF), f3(p.MinEDF),
+		})
+	}
+	return writeRows(w, "deadline_factor\tmean_interarrival_s\tmaxedf\tminedf", rows)
+}
+
+// MinEDFWinsAtRelaxedDeadlines reports whether, aggregated over points
+// with df > 1, MinEDF's utility is at most MaxEDF's — the paper's
+// headline conclusion.
+func (r *DeadlineSweepResult) MinEDFWinsAtRelaxedDeadlines() bool {
+	var minSum, maxSum float64
+	for _, p := range r.Points {
+		if p.DeadlineFactor > 1 {
+			minSum += p.MinEDF
+			maxSum += p.MaxEDF
+		}
+	}
+	return minSum <= maxSum
+}

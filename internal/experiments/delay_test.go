@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDelayStudyShape(t *testing.T) {
+	r, err := DelayStudy(16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Locality must climb with the wait and end high (Zaharia et al.'s
+	// headline result).
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.NodeLocalFrac < first.NodeLocalFrac {
+		t.Errorf("locality fell with delay: %.2f -> %.2f", first.NodeLocalFrac, last.NodeLocalFrac)
+	}
+	if last.NodeLocalFrac < 0.85 {
+		t.Errorf("locality with max wait too low: %.2f", last.NodeLocalFrac)
+	}
+	// And the cost in completion time must be modest.
+	if last.MeanCompletion > first.MeanCompletion*1.5 {
+		t.Errorf("delay scheduling cost too high: %.1f -> %.1f",
+			first.MeanCompletion, last.MeanCompletion)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node_local_frac") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestDelayStudyValidation(t *testing.T) {
+	if _, err := DelayStudy(0, 1); err == nil {
+		t.Fatal("zero jobs should fail")
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (§II, §IV, §V). Each exported runner regenerates one
+// artifact and returns a result that renders the same rows or series the
+// paper plots. cmd/experiments drives them all and writes results/.
+//
+// The per-experiment index lives in DESIGN.md §4; expected shapes (who
+// wins, by roughly what factor) are recorded in EXPERIMENTS.md alongside
+// measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"simmr/internal/cluster"
+	"simmr/internal/engine"
+	"simmr/internal/profiler"
+	"simmr/internal/sched"
+	"simmr/internal/trace"
+	"simmr/internal/workload"
+)
+
+// profilerFromResult converts an emulator result into a replayable trace
+// via MRProfiler's extraction rules.
+func profilerFromResult(res *cluster.Result) *trace.Trace {
+	return profiler.FromResult(res)
+}
+
+// TestbedConfig returns the emulated counterpart of the paper's 66-node
+// testbed (§IV-B): 64 workers, one map and one reduce slot each.
+func TestbedConfig(seed int64) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// EngineConfig returns the matching SimMR engine configuration: 64 map
+// and 64 reduce slots.
+func EngineConfig() engine.Config {
+	return engine.DefaultConfig()
+}
+
+// runTestbedJob executes one job alone on the emulated testbed and
+// returns its result.
+func runTestbedJob(cfg cluster.Config, job cluster.Job, policy sched.Policy) (*cluster.Result, error) {
+	res, err := cluster.Run(cfg, []cluster.Job{job}, policy, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: testbed run %s/%s: %w", job.Spec.App, job.Spec.Dataset, err)
+	}
+	return res, nil
+}
+
+// profileSpec runs a spec alone under FIFO on the testbed and returns
+// the extracted template plus the ground-truth completion time.
+func profileSpec(cfg cluster.Config, spec workload.Spec) (*trace.Template, float64, error) {
+	res, err := runTestbedJob(cfg, cluster.Job{Spec: spec}, sched.FIFO{})
+	if err != nil {
+		return nil, 0, err
+	}
+	tr := profilerFromResult(res)
+	tpl := tr.Jobs[0].Template
+	tpl.Dataset = spec.Dataset
+	return tpl, res.Jobs[0].CompletionTime(), nil
+}
+
+// fullClusterTime replays a template alone on the full engine cluster —
+// the T_J baseline of the Figure 7/8 deadline assignment ("completion
+// time of job J given all the cluster resources").
+func fullClusterTime(tpl *trace.Template, cfg engine.Config) (float64, error) {
+	tr := &trace.Trace{Jobs: []*trace.Job{{Template: tpl}}}
+	tr.Normalize()
+	res, err := engine.Run(cfg, tr, sched.FIFO{})
+	if err != nil {
+		return 0, fmt.Errorf("experiments: baseline replay: %w", err)
+	}
+	return res.Jobs[0].CompletionTime(), nil
+}
+
+// writeRows renders a header and tab-separated rows.
+func writeRows(w io.Writer, header string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			sep := "\t"
+			if i == len(row)-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprint(w, cell, sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

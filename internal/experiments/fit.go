@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"simmr/internal/stats"
+	"simmr/internal/synth"
+)
+
+// FitEntry is one candidate family's goodness of fit.
+type FitEntry struct {
+	Family string
+	KS     float64
+}
+
+// FacebookFitResult reproduces the §V-C distribution-fitting step: the
+// paper fits 60+ families to the Facebook task-duration CDFs and finds
+// LogNormal the best (map KS 0.1056, reduce KS 0.0451). We fit our
+// family set to Facebook-like duration samples and verify LogNormal
+// wins by KS.
+type FacebookFitResult struct {
+	Phase                 string // "map" or "reduce"
+	SampleSize            int
+	Entries               []FitEntry // sorted, best first
+	BestIsLogNormal       bool
+	FittedMu, FittedSigma float64
+}
+
+// FacebookFit runs the fitting for one phase.
+func FacebookFit(phase string, sampleSize int, seed int64) (*FacebookFitResult, error) {
+	if sampleSize < 100 {
+		return nil, fmt.Errorf("experiments: fit needs >= 100 samples")
+	}
+	var d stats.Dist
+	switch phase {
+	case "map":
+		d = synth.FacebookMapDist()
+	case "reduce":
+		d = synth.FacebookReduceDist()
+	default:
+		return nil, fmt.Errorf("experiments: unknown phase %q", phase)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := stats.SampleN(d, sampleSize, rng)
+	fits := stats.FitAll(xs)
+	if len(fits) == 0 {
+		return nil, fmt.Errorf("experiments: no family fitted")
+	}
+	out := &FacebookFitResult{Phase: phase, SampleSize: sampleSize}
+	for _, f := range fits {
+		out.Entries = append(out.Entries, FitEntry{Family: fmt.Sprint(f.Dist), KS: f.KS})
+	}
+	if ln, ok := fits[0].Dist.(stats.LogNormal); ok {
+		out.BestIsLogNormal = true
+		out.FittedMu, out.FittedSigma = ln.Mu, ln.Sigma
+	}
+	return out, nil
+}
+
+// Render renders the ranked fits.
+func (r *FacebookFitResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "# Distribution fitting, Facebook %s-task durations (%d samples)\n",
+		r.Phase, r.SampleSize)
+	if r.BestIsLogNormal {
+		fmt.Fprintf(w, "# best fit: LogNormal(%.4f, %.4f)\n", r.FittedMu, r.FittedSigma)
+	}
+	rows := make([][]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		rows = append(rows, []string{e.Family, fmt.Sprintf("%.4f", e.KS)})
+	}
+	return writeRows(w, "family\tks", rows)
+}

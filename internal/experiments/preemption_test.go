@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationPreemption(t *testing.T) {
+	r, err := AblationPreemption(8, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Under saturation (10 s arrivals) preemption must clearly help: the
+	// urgent-deadline job no longer waits behind full map waves.
+	dense := r.Rows[0]
+	if dense.InterArrivalMean != 10 {
+		t.Fatalf("unexpected row order: %+v", r.Rows)
+	}
+	if dense.Preempt >= dense.NoPreempt {
+		t.Errorf("preemption should help under saturation: %.2f vs %.2f",
+			dense.Preempt, dense.NoPreempt)
+	}
+	// At df = 1 elsewhere the re-execution waste offsets the gain;
+	// preemption must at least not be catastrophic.
+	for _, row := range r.Rows {
+		if row.Preempt > row.NoPreempt*1.25 {
+			t.Errorf("ia=%v: preemption catastrophically worse: %.2f vs %.2f",
+				row.InterArrivalMean, row.Preempt, row.NoPreempt)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no_preempt\tpreempt") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAblationPreemptionValidation(t *testing.T) {
+	if _, err := AblationPreemption(0, 1); err == nil {
+		t.Fatal("zero repetitions should fail")
+	}
+}

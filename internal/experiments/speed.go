@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"simmr/internal/engine"
+	"simmr/internal/mumak"
+	"simmr/internal/sched"
+	"simmr/internal/synth"
+	"simmr/internal/trace"
+)
+
+// Figure6Point is one x-position of Figure 6: simulation wall time for a
+// job-count prefix of the production trace, per simulator.
+type Figure6Point struct {
+	Jobs         int
+	SimMRSeconds float64
+	MumakSeconds float64
+	SimMREvents  uint64
+	MumakEvents  uint64
+}
+
+// Figure6Result reproduces the §IV-E simulator speed comparison: SimMR
+// replays the full production trace in ~1.5 s versus Mumak's 680 s
+// (>450×), because Mumak simulates every TaskTracker heartbeat. The
+// paper's trace holds 1148 jobs from 6 months of cluster history.
+type Figure6Result struct {
+	Points []Figure6Point
+	// SerialRuntimeHours is what the workload would take executed
+	// serially (the paper quotes "about a week (152 hours)").
+	SerialRuntimeHours float64
+	// SimMREventsPerSec backs the "over one million events per second"
+	// claim.
+	SimMREventsPerSec float64
+	// SpeedupAtMax is Mumak time / SimMR time at the largest prefix.
+	SpeedupAtMax float64
+}
+
+// Figure6 generates an n-job production trace (paper: 1148) and times
+// both simulators on growing prefixes.
+func Figure6(totalJobs int, prefixes []int, seed int64) (*Figure6Result, error) {
+	if totalJobs < 1 {
+		return nil, fmt.Errorf("experiments: figure6 needs jobs >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	full, err := synth.ProductionTrace(totalJobs, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(prefixes) == 0 {
+		prefixes = defaultPrefixes(totalJobs)
+	}
+	out := &Figure6Result{SerialRuntimeHours: full.SerialRuntime() / 3600}
+
+	for _, n := range prefixes {
+		if n < 1 || n > totalJobs {
+			return nil, fmt.Errorf("experiments: prefix %d out of range", n)
+		}
+		sub := prefixTrace(full, n)
+		p := Figure6Point{Jobs: n}
+
+		start := time.Now()
+		engRes, err := engine.Run(EngineConfig(), sub, sched.FIFO{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SimMR speed run: %w", err)
+		}
+		p.SimMRSeconds = time.Since(start).Seconds()
+		p.SimMREvents = engRes.Events
+
+		start = time.Now()
+		mumRes, err := mumak.Run(mumak.DefaultConfig(), sub, sched.FIFO{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Mumak speed run: %w", err)
+		}
+		p.MumakSeconds = time.Since(start).Seconds()
+		p.MumakEvents = mumRes.Events
+
+		out.Points = append(out.Points, p)
+	}
+
+	last := out.Points[len(out.Points)-1]
+	if last.SimMRSeconds > 0 {
+		out.SimMREventsPerSec = float64(last.SimMREvents) / last.SimMRSeconds
+		out.SpeedupAtMax = last.MumakSeconds / last.SimMRSeconds
+	}
+	return out, nil
+}
+
+func defaultPrefixes(total int) []int {
+	var out []int
+	for n := 100; n < total; n += 200 {
+		out = append(out, n)
+	}
+	return append(out, total)
+}
+
+// prefixTrace clones the first n jobs of a normalized trace.
+func prefixTrace(tr *trace.Trace, n int) *trace.Trace {
+	sub := &trace.Trace{Name: fmt.Sprintf("%s[:%d]", tr.Name, n)}
+	for _, j := range tr.Jobs[:n] {
+		cj := *j
+		sub.Jobs = append(sub.Jobs, &cj)
+	}
+	return sub
+}
+
+// Render renders the log-log series of Figure 6.
+func (r *Figure6Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "# Simulator speed comparison (serial workload runtime: %.0f hours)\n", r.SerialRuntimeHours)
+	fmt.Fprintf(w, "# SimMR throughput: %.0f events/s; speedup over Mumak at max prefix: %.0fx\n",
+		r.SimMREventsPerSec, r.SpeedupAtMax)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Jobs),
+			fmt.Sprintf("%.4f", p.SimMRSeconds), fmt.Sprintf("%.4f", p.MumakSeconds),
+			fmt.Sprint(p.SimMREvents), fmt.Sprint(p.MumakEvents),
+		})
+	}
+	return writeRows(w, "jobs\tsimmr_s\tmumak_s\tsimmr_events\tmumak_events", rows)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadValidationAccuracy(t *testing.T) {
+	r, err := WorkloadValidation(30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 6 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	// Replaying a contended multi-job schedule must stay inside the
+	// paper's single-job accuracy envelope.
+	if r.Summary.AvgPct > 5 {
+		t.Errorf("avg error %.1f%% too large for workload replay", r.Summary.AvgPct)
+	}
+	if r.Summary.MaxPct > 10 {
+		t.Errorf("max error %.1f%% too large", r.Summary.MaxPct)
+	}
+	// The burst must actually have produced contention.
+	concurrent := 0
+	for _, e := range r.Entries {
+		if e.QueuedWith > 0 {
+			concurrent++
+		}
+	}
+	if concurrent < 4 {
+		t.Errorf("burst was not contended: only %d jobs queued with others", concurrent)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "concurrent_jobs_at_arrival") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestWorkloadValidationRejectsNegativeIA(t *testing.T) {
+	if _, err := WorkloadValidation(-1, 1); err == nil {
+		t.Fatal("negative inter-arrival should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package hadooplog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the log parser never panics and that everything it
+// accepts can be re-serialized and re-parsed to the same records.
+func FuzzParse(f *testing.F) {
+	f.Add(`Job JOBID="job_000001" SUBMIT_TIME="0.000" .`)
+	f.Add(`MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" START_TIME="1.5" .`)
+	f.Add(`X A="a \" quote" B="back\\slash" .`)
+	f.Add("")
+	f.Add("Job")
+	f.Add(`Job K="unterminated`)
+	f.Add(`Job K="v" extra`)
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Round-trip accepted input.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if strings.ContainsAny(r.Entity, " \t\n\r") || r.Entity == "" {
+				return // writer contract: caller provides sane entities
+			}
+			for k := range r.Attrs {
+				if strings.ContainsAny(k, " =\"\t\n\r") || k == "" {
+					return
+				}
+				if strings.ContainsAny(r.Attrs[k], "\n\r") {
+					return
+				}
+			}
+			w.Write(r.Entity, r.Attrs)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of serialized records failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("record count changed: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if again[i].Entity != recs[i].Entity || len(again[i].Attrs) != len(recs[i].Attrs) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+			for k, v := range recs[i].Attrs {
+				if again[i].Attrs[k] != v {
+					t.Fatalf("record %d attr %q: %q -> %q", i, k, v, again[i].Attrs[k])
+				}
+			}
+		}
+	})
+}

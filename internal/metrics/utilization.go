@@ -1,0 +1,82 @@
+package metrics
+
+import "sort"
+
+// Utilization summarizes how busy a set of slots was over a horizon —
+// the capacity-planning view a cluster administrator asks SimMR for
+// ("assess various what-if questions", §VII).
+type Utilization struct {
+	// BusySlotSeconds is the total slot-seconds consumed by tasks.
+	BusySlotSeconds float64
+	// Horizon is the observation window length.
+	Horizon float64
+	// Slots is the capacity used for the fraction.
+	Slots int
+	// Fraction is BusySlotSeconds / (Slots * Horizon), in [0, 1] for a
+	// feasible schedule.
+	Fraction float64
+	// Peak is the maximum number of simultaneously busy slots.
+	Peak int
+}
+
+// ComputeUtilization aggregates task intervals against a slot capacity.
+// A zero horizon or capacity yields a zero result.
+func ComputeUtilization(tasks []Interval, slots int, horizon float64) Utilization {
+	u := Utilization{Slots: slots, Horizon: horizon}
+	if slots <= 0 || horizon <= 0 {
+		return u
+	}
+	for _, iv := range tasks {
+		if iv.End > iv.Start {
+			u.BusySlotSeconds += iv.End - iv.Start
+		}
+	}
+	u.Fraction = u.BusySlotSeconds / (float64(slots) * horizon)
+	u.Peak = PeakConcurrency(tasks)
+	return u
+}
+
+// UtilizationPoint is one sample of a utilization time series.
+type UtilizationPoint struct {
+	T    float64
+	Busy int
+}
+
+// UtilizationSeries samples the number of busy slots at fixed steps —
+// suitable for plotting alongside the Figure 1/2 task timelines.
+func UtilizationSeries(tasks []Interval, horizon, step float64) []UtilizationPoint {
+	if step <= 0 || horizon <= 0 {
+		return nil
+	}
+	// Sweep events once instead of scanning all intervals per sample.
+	type edge struct {
+		t     float64
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(tasks))
+	for _, iv := range tasks {
+		if iv.End <= iv.Start {
+			continue
+		}
+		edges = append(edges, edge{iv.Start, 1}, edge{iv.End, -1})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].t != edges[b].t {
+			return edges[a].t < edges[b].t
+		}
+		return edges[a].delta < edges[b].delta
+	})
+
+	n := int(horizon/step) + 1
+	pts := make([]UtilizationPoint, 0, n)
+	busy, ei := 0, 0
+	for i := 0; i < n; i++ {
+		t := float64(i) * step
+		for ei < len(edges) && edges[ei].t <= t {
+			busy += edges[ei].delta
+			ei++
+		}
+		pts = append(pts, UtilizationPoint{T: t, Busy: busy})
+	}
+	return pts
+}

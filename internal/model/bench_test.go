@@ -1,0 +1,43 @@
+package model
+
+import (
+	"testing"
+
+	"simmr/internal/trace"
+)
+
+func benchProfile() trace.Profile {
+	mk := func(n int, v float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = v + float64(i%7)
+		}
+		return s
+	}
+	tpl := &trace.Template{
+		AppName: "bench", NumMaps: 500, NumReduces: 100,
+		MapDurations:    mk(500, 20),
+		FirstShuffle:    mk(100, 4),
+		TypicalShuffle:  mk(100, 8),
+		ReduceDurations: mk(100, 5),
+	}
+	return tpl.Profile()
+}
+
+// BenchmarkMinimalSlots measures the MinEDF sizing step — executed on
+// every job arrival in the deadline experiments.
+func BenchmarkMinimalSlots(b *testing.B) {
+	p := benchProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MinimalSlots(p, 500+float64(i%200), 64, 64)
+	}
+}
+
+func BenchmarkJobBounds(b *testing.B) {
+	p := benchProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = JobBounds(p, 64, 64)
+	}
+}

@@ -1,0 +1,71 @@
+package mumak
+
+import (
+	"math/rand"
+	"testing"
+
+	"simmr/internal/engine"
+	"simmr/internal/sched"
+	"simmr/internal/trace"
+)
+
+// Cross-simulator consistency: on map-only traces the SimMR engine and
+// the Mumak baseline model the same thing (there is no shuffle to
+// disagree about), so their per-job completions must agree to within
+// Mumak's heartbeat quantization.
+func TestEngineMumakAgreeOnMapOnlyTracesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		nJobs := rng.Intn(5) + 1
+		tr := &trace.Trace{Name: "xcheck"}
+		tArr := 0.0
+		for j := 0; j < nJobs; j++ {
+			maps := rng.Intn(50) + 1
+			tpl := &trace.Template{
+				AppName: "m", NumMaps: maps,
+				MapDurations: make([]float64, maps),
+			}
+			for i := range tpl.MapDurations {
+				tpl.MapDurations[i] = 1 + rng.Float64()*30
+			}
+			tr.Jobs = append(tr.Jobs, &trace.Job{Arrival: tArr, Template: tpl})
+			tArr += rng.Float64() * 60
+		}
+		tr.Normalize()
+
+		slotsPerNode := rng.Intn(2) + 1
+		nodes := rng.Intn(12) + 2
+		engRes, err := engine.Run(engine.Config{
+			MapSlots:               nodes * slotsPerNode,
+			ReduceSlots:            1,
+			MinMapPercentCompleted: 0.05,
+		}, tr, sched.FIFO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mCfg := DefaultConfig()
+		mCfg.Nodes = nodes
+		mCfg.MapSlotsPerNode = slotsPerNode
+		mumRes, err := Run(mCfg, tr, sched.FIFO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Heartbeat slack: one interval per map wave plus the initial
+		// stagger. Bound waves generously by total maps.
+		totalMaps, _ := tr.TotalTasks()
+		waves := totalMaps/(nodes*slotsPerNode) + 2
+		slack := float64(waves+1) * mCfg.HeartbeatInterval
+		for i := range engRes.Jobs {
+			e := engRes.Jobs[i].Finish
+			m := mumRes.Jobs[i].Finish
+			if m < e-1e-9 {
+				t.Fatalf("trial %d job %d: Mumak (%v) finished before task-level engine (%v)",
+					trial, i, m, e)
+			}
+			if m > e+slack {
+				t.Fatalf("trial %d job %d: Mumak (%v) exceeds engine (%v) by more than heartbeat slack %v",
+					trial, i, m, e, slack)
+			}
+		}
+	}
+}

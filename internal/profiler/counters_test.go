@@ -1,0 +1,97 @@
+package profiler
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"simmr/internal/cluster"
+	"simmr/internal/hadooplog"
+	"simmr/internal/sched"
+	"simmr/internal/stats"
+	"simmr/internal/trace"
+	"simmr/internal/workload"
+)
+
+func TestCountersExtractedFromClusterLogs(t *testing.T) {
+	spec := workload.Spec{
+		App: "ctr", Dataset: "t",
+		NumMaps: 10, NumReduces: 4, BlockMB: 64,
+		MapCompute:    stats.Constant{V: 5},
+		Selectivity:   0.5,
+		ReduceCompute: stats.Constant{V: 2},
+	}
+	var buf bytes.Buffer
+	w := hadooplog.NewWriter(&buf)
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 8
+	if _, err := cluster.Run(cfg, []cluster.Job{{Spec: spec}}, sched.FIFO{}, w); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := FromReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := tr.Jobs[0].Template.Counters
+	if ctr == nil {
+		t.Fatal("no counters extracted")
+	}
+	// 10 maps x 64 MB input.
+	wantRead := 10 * 64e6
+	if got := ctr["MAP_"+hadooplog.KeyHDFSBytesRead]; math.Abs(got-wantRead) > 1 {
+		t.Fatalf("map hdfs read = %v, want %v", got, wantRead)
+	}
+	// Intermediate: 10 x 64 x 0.5 MB spilled by maps.
+	wantSpill := 10 * 64e6 * 0.5
+	if got := ctr["MAP_"+hadooplog.KeyFileBytesWritten]; math.Abs(got-wantSpill) > 1 {
+		t.Fatalf("map spill = %v, want %v", got, wantSpill)
+	}
+	// Each of 4 reduces fetches the whole per-reduce partition: total
+	// shuffle = 4 x (intermediate / 4) = intermediate.
+	if got := ctr["REDUCE_"+hadooplog.KeyShuffleBytes]; math.Abs(got-wantSpill) > 1 {
+		t.Fatalf("shuffle bytes = %v, want %v", got, wantSpill)
+	}
+}
+
+func TestCountersSurviveTraceRoundTrip(t *testing.T) {
+	tpl := &trace.Template{
+		AppName: "c", NumMaps: 1, MapDurations: []float64{1},
+		Counters: map[string]float64{"MAP_HDFS_BYTES_READ": 123},
+	}
+	tr := &trace.Trace{Name: "c", Jobs: []*trace.Job{{Template: tpl}}}
+	tr.Normalize()
+	data, err := trace.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "counters") {
+		t.Fatal("counters not serialized")
+	}
+	back, err := trace.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs[0].Template.Counters["MAP_HDFS_BYTES_READ"] != 123 {
+		t.Fatal("counters lost in round trip")
+	}
+	// Clone must deep-copy.
+	c := back.Jobs[0].Template.Clone()
+	c.Counters["MAP_HDFS_BYTES_READ"] = 999
+	if back.Jobs[0].Template.Counters["MAP_HDFS_BYTES_READ"] == 999 {
+		t.Fatal("clone shares counters map")
+	}
+}
+
+func TestNoCountersMeansNilMap(t *testing.T) {
+	logText := `Job JOBID="job_000001" JOBNAME="plain" SUBMIT_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" START_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" FINISH_TIME="5" .`
+	tr, err := FromReader(strings.NewReader(logText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Template.Counters != nil {
+		t.Fatal("counters should be nil when logs carry none")
+	}
+}

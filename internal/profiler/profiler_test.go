@@ -1,0 +1,247 @@
+package profiler
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"simmr/internal/cluster"
+	"simmr/internal/hadooplog"
+	"simmr/internal/sched"
+	"simmr/internal/stats"
+	"simmr/internal/workload"
+)
+
+func runCluster(t *testing.T, jobs []cluster.Job) (*cluster.Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := hadooplog.NewWriter(&buf)
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 16
+	res, err := cluster.Run(cfg, jobs, sched.FIFO{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+func testJob(name string, maps, reduces int) cluster.Job {
+	return cluster.Job{
+		Name: name,
+		Spec: workload.Spec{
+			App: name, Dataset: "t",
+			NumMaps: maps, NumReduces: reduces, BlockMB: 64,
+			MapCompute:    stats.Normal{Mu: 8, Sigma: 1},
+			Selectivity:   0.4,
+			ReduceCompute: stats.Normal{Mu: 3, Sigma: 0.5},
+		},
+	}
+}
+
+func TestFromReaderBuildsValidTrace(t *testing.T) {
+	_, logs := runCluster(t, []cluster.Job{testJob("wc", 48, 8)})
+	tr, err := FromReader(bytes.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	tpl := tr.Jobs[0].Template
+	if tpl.NumMaps != 48 || tpl.NumReduces != 8 {
+		t.Fatalf("counts: %d/%d", tpl.NumMaps, tpl.NumReduces)
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tpl.AppName != "wc" {
+		t.Fatalf("app name %q", tpl.AppName)
+	}
+	for _, d := range tpl.MapDurations {
+		if d <= 0 {
+			t.Fatal("nonpositive map duration")
+		}
+	}
+}
+
+func TestLogAndDirectPathsAgree(t *testing.T) {
+	res, logs := runCluster(t, []cluster.Job{
+		testJob("a", 40, 6),
+		{Name: "b", Spec: testJob("b", 24, 4).Spec, Arrival: 50},
+	})
+	fromLogs, err := FromReader(bytes.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRes := FromResult(res)
+	if len(fromLogs.Jobs) != len(fromRes.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(fromLogs.Jobs), len(fromRes.Jobs))
+	}
+	const tol = 2e-3 // log format rounds to milliseconds
+	for i := range fromLogs.Jobs {
+		a, b := fromLogs.Jobs[i].Template, fromRes.Jobs[i].Template
+		if a.NumMaps != b.NumMaps || a.NumReduces != b.NumReduces {
+			t.Fatalf("job %d counts differ", i)
+		}
+		compareSlices(t, "maps", a.MapDurations, b.MapDurations, tol)
+		compareSlices(t, "first shuffle", a.FirstShuffle, b.FirstShuffle, tol)
+		compareSlices(t, "typical shuffle", a.TypicalShuffle, b.TypicalShuffle, tol)
+		compareSlices(t, "reduce", a.ReduceDurations, b.ReduceDurations, tol)
+		if math.Abs(fromLogs.Jobs[i].Arrival-fromRes.Jobs[i].Arrival) > tol {
+			t.Fatalf("job %d arrivals differ", i)
+		}
+	}
+}
+
+func compareSlices(t *testing.T, what string, a, b []float64, tol float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s lengths differ: %d vs %d", what, len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	for i := range as {
+		if math.Abs(as[i]-bs[i]) > tol {
+			t.Fatalf("%s[%d]: %v vs %v", what, i, as[i], bs[i])
+		}
+	}
+}
+
+func TestShuffleClassification(t *testing.T) {
+	// With 16 reduce slots and 32 reduces, two waves exist: some first
+	// (started during maps), some typical.
+	res, _ := runCluster(t, []cluster.Job{testJob("waves", 96, 32)})
+	tr := FromResult(res)
+	tpl := tr.Jobs[0].Template
+	if len(tpl.FirstShuffle) == 0 {
+		t.Fatal("no first-wave shuffles recorded")
+	}
+	if len(tpl.TypicalShuffle) == 0 {
+		t.Fatal("no typical shuffles recorded")
+	}
+	if len(tpl.FirstShuffle)+len(tpl.TypicalShuffle) != 32 {
+		t.Fatalf("shuffle classification lost tasks: %d + %d != 32",
+			len(tpl.FirstShuffle), len(tpl.TypicalShuffle))
+	}
+	// The non-overlapping first-shuffle portion should be shorter than a
+	// full typical shuffle on average (most of the fetch overlapped).
+	f := stats.Summarize(tpl.FirstShuffle)
+	ty := stats.Summarize(tpl.TypicalShuffle)
+	if f.Mean > ty.Mean*1.5 {
+		t.Fatalf("first-shuffle mean %v suspiciously exceeds typical %v", f.Mean, ty.Mean)
+	}
+}
+
+func TestSingleWaveFallback(t *testing.T) {
+	// 8 reduces on 16 slots: one wave, all first-wave. The profiler must
+	// synthesize typical shuffles so the template stays replayable.
+	res, _ := runCluster(t, []cluster.Job{testJob("onewave", 48, 8)})
+	tr := FromResult(res)
+	tpl := tr.Jobs[0].Template
+	if len(tpl.TypicalShuffle) == 0 {
+		t.Fatal("fallback did not synthesize typical shuffles")
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOnlyJobProfile(t *testing.T) {
+	res, logs := runCluster(t, []cluster.Job{testJob("maponly", 20, 0)})
+	fromLogs, err := FromReader(bytes.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRes := FromResult(res)
+	for _, tr := range []*struct {
+		name string
+		nm   int
+		nr   int
+	}{
+		{"logs", fromLogs.Jobs[0].Template.NumMaps, fromLogs.Jobs[0].Template.NumReduces},
+		{"res", fromRes.Jobs[0].Template.NumMaps, fromRes.Jobs[0].Template.NumReduces},
+	} {
+		if tr.nm != 20 || tr.nr != 0 {
+			t.Fatalf("%s: %d/%d", tr.name, tr.nm, tr.nr)
+		}
+	}
+}
+
+func TestFromRecordsErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing jobid": `Job JOBNAME="x" SUBMIT_TIME="0" .`,
+		"map finish without start": `Job JOBID="job_000001" SUBMIT_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" FINISH_TIME="5" .`,
+		"bad attempt id": `Job JOBID="job_000001" SUBMIT_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="bogus" START_TIME="0" .`,
+		"no submit": `MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" START_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" FINISH_TIME="5" .`,
+		"reduce without sort": `Job JOBID="job_000001" SUBMIT_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" START_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" FINISH_TIME="5" .
+ReduceAttempt TASK_ATTEMPT_ID="attempt_000001_r_000000_0" START_TIME="1" .
+ReduceAttempt TASK_ATTEMPT_ID="attempt_000001_r_000000_0" FINISH_TIME="9" .`,
+		"count mismatch": `Job JOBID="job_000001" SUBMIT_TIME="0" TOTAL_MAPS="5" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" START_TIME="0" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" FINISH_TIME="5" .`,
+	}
+	for name, logText := range cases {
+		if _, err := FromReader(strings.NewReader(logText)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestHandCraftedLogSemantics(t *testing.T) {
+	// Two maps (end at 10 and 12 -> map stage end 12). Reduce 0 starts at
+	// t=5 (first wave; sort finishes 15 -> non-overlap 3), reduce 1
+	// starts at 13 (typical; sort finishes 18 -> shuffle 5). Reduce
+	// phases 2 and 3 seconds.
+	logText := `Job JOBID="job_000001" JOBNAME="hand" SUBMIT_TIME="1" TOTAL_MAPS="2" TOTAL_REDUCES="2" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" START_TIME="2" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000000_0" FINISH_TIME="10" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000001_0" START_TIME="2" .
+MapAttempt TASK_ATTEMPT_ID="attempt_000001_m_000001_0" FINISH_TIME="12" .
+ReduceAttempt TASK_ATTEMPT_ID="attempt_000001_r_000000_0" START_TIME="5" .
+ReduceAttempt TASK_ATTEMPT_ID="attempt_000001_r_000000_0" SHUFFLE_FINISHED="14" SORT_FINISHED="15" FINISH_TIME="17" .
+ReduceAttempt TASK_ATTEMPT_ID="attempt_000001_r_000001_0" START_TIME="13" .
+ReduceAttempt TASK_ATTEMPT_ID="attempt_000001_r_000001_0" SHUFFLE_FINISHED="17" SORT_FINISHED="18" FINISH_TIME="21" .
+Job JOBID="job_000001" FINISH_TIME="21" JOB_STATUS="SUCCESS" .`
+	tr, err := FromReader(strings.NewReader(logText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := tr.Jobs[0].Template
+	if tr.Jobs[0].Arrival != 1 {
+		t.Fatalf("arrival %v", tr.Jobs[0].Arrival)
+	}
+	compareSlices(t, "maps", tpl.MapDurations, []float64{8, 10}, 1e-9)
+	compareSlices(t, "first", tpl.FirstShuffle, []float64{3}, 1e-9)
+	compareSlices(t, "typical", tpl.TypicalShuffle, []float64{5}, 1e-9)
+	compareSlices(t, "reduce", tpl.ReduceDurations, []float64{2, 3}, 1e-9)
+}
+
+func TestMultiJobLogSeparation(t *testing.T) {
+	_, logs := runCluster(t, []cluster.Job{
+		testJob("j0", 20, 4),
+		{Name: "j1", Spec: testJob("j1", 30, 6).Spec, Arrival: 10},
+		{Name: "j2", Spec: testJob("j2", 10, 2).Spec, Arrival: 20},
+	})
+	tr, err := FromReader(bytes.NewReader(logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	wantMaps := []int{20, 30, 10}
+	for i, j := range tr.Jobs {
+		if j.Template.NumMaps != wantMaps[i] {
+			t.Fatalf("job %d maps = %d, want %d", i, j.Template.NumMaps, wantMaps[i])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package report renders the experiment result files (results/*.tsv)
+// into a single human-readable Markdown document, so a full
+// `cmd/experiments` run ends with one reviewable artifact instead of a
+// directory of TSVs.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Generate reads every *.tsv under dir and renders a Markdown report:
+// one section per file, leading '#' comment lines becoming prose and the
+// tab-separated table becoming a Markdown table.
+func Generate(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tsv") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return "", fmt.Errorf("report: no .tsv files in %s", dir)
+	}
+	sort.Strings(files)
+
+	var sb strings.Builder
+	sb.WriteString("# SimMR experiment report\n\n")
+	sb.WriteString("Generated from the tab-separated results in this directory.\n")
+	for _, name := range files {
+		section, err := renderFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", fmt.Errorf("report: %s: %w", name, err)
+		}
+		sb.WriteString("\n## ")
+		sb.WriteString(titleFor(name))
+		sb.WriteString("\n\n")
+		sb.WriteString(section)
+	}
+	return sb.String(), nil
+}
+
+// WriteFile generates the report and writes it to path.
+func WriteFile(dir, path string) error {
+	md, err := Generate(dir)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(md), 0o644)
+}
+
+// titleFor derives a section title from a result filename.
+func titleFor(name string) string {
+	t := strings.TrimSuffix(name, ".tsv")
+	t = strings.ReplaceAll(t, "_", " ")
+	return t
+}
+
+// maxRowsPerTable keeps huge series (CDF points, timelines) reviewable.
+const maxRowsPerTable = 40
+
+func renderFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	var header []string
+	rows := 0
+	truncated := false
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "##"):
+			// Sub-block header inside a result file.
+			sb.WriteString("\n**")
+			sb.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "##")))
+			sb.WriteString("**\n\n")
+			header = nil
+			rows = 0
+			truncated = false
+		case strings.HasPrefix(line, "#"):
+			sb.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "#")))
+			sb.WriteString("\n")
+		default:
+			cells := strings.Split(line, "\t")
+			if header == nil {
+				header = cells
+				sb.WriteString("\n|")
+				sb.WriteString(strings.Join(cells, "|"))
+				sb.WriteString("|\n|")
+				sb.WriteString(strings.Repeat("---|", len(cells)))
+				sb.WriteString("\n")
+				continue
+			}
+			// A repeated header (multi-block files) starts a new table.
+			if equalCells(cells, header) {
+				continue
+			}
+			rows++
+			if rows > maxRowsPerTable {
+				if !truncated {
+					sb.WriteString(fmt.Sprintf("|… (truncated; full data in %s)|\n", filepath.Base(path)))
+					truncated = true
+				}
+				continue
+			}
+			sb.WriteString("|")
+			sb.WriteString(strings.Join(cells, "|"))
+			sb.WriteString("|\n")
+		}
+	}
+	return sb.String(), nil
+}
+
+func equalCells(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTSV(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateBasicReport(t *testing.T) {
+	dir := t.TempDir()
+	writeTSV(t, dir, "b_second.tsv", "# second file\nx\ty\n1\t2\n")
+	writeTSV(t, dir, "a_first.tsv", "# first file summary\ncol1\tcol2\nv1\tv2\nv3\tv4\n")
+
+	md, err := Generate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sections sorted by filename; titles derived from names.
+	ai := strings.Index(md, "## a first")
+	bi := strings.Index(md, "## b second")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("sections wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "first file summary") {
+		t.Fatal("comment prose missing")
+	}
+	if !strings.Contains(md, "|col1|col2|") || !strings.Contains(md, "|v1|v2|") {
+		t.Fatalf("table missing:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Fatal("markdown separator missing")
+	}
+}
+
+func TestGenerateTruncatesLongSeries(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	sb.WriteString("t\tv\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("1\t2\n")
+	}
+	writeTSV(t, dir, "long.tsv", sb.String())
+	md, err := Generate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "truncated") {
+		t.Fatal("long table not truncated")
+	}
+	if strings.Count(md, "|1|2|") > maxRowsPerTable {
+		t.Fatal("too many rows emitted")
+	}
+}
+
+func TestGenerateHandlesSubBlocks(t *testing.T) {
+	dir := t.TempDir()
+	writeTSV(t, dir, "blocks.tsv",
+		"# header prose\n## block one\na\tb\n1\t2\n## block two\na\tb\n3\t4\n")
+	md, err := Generate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "**block one**") || !strings.Contains(md, "**block two**") {
+		t.Fatalf("sub-blocks missing:\n%s", md)
+	}
+	if !strings.Contains(md, "|3|4|") {
+		t.Fatal("second block table missing")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(t.TempDir()); err == nil {
+		t.Fatal("empty dir should fail")
+	}
+	if _, err := Generate("/nonexistent/dir"); err == nil {
+		t.Fatal("missing dir should fail")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	writeTSV(t, dir, "x.tsv", "a\tb\n1\t2\n")
+	out := filepath.Join(dir, "REPORT.md")
+	if err := WriteFile(dir, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# SimMR experiment report") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestGenerateOnRealResults(t *testing.T) {
+	// The repository ships regenerated results; the report must render
+	// them without error when present.
+	if _, err := os.Stat("../../results"); err != nil {
+		t.Skip("results directory not present")
+	}
+	md, err := Generate("../../results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "figure5a") {
+		t.Fatal("expected figure5a section")
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLogNormalSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := LogNormal{Mu: 9.9511, Sigma: 1.6764}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(rng)
+	}
+}
+
+func BenchmarkGammaSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := Gamma{K: 2.5, Theta: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(rng)
+	}
+}
+
+func BenchmarkSymmetricKL(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := SampleN(Exponential{MeanV: 10}, 1000, rng)
+	y := SampleN(Exponential{MeanV: 12}, 1000, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SampleSymmetricKL(x, y, DefaultKLBins)
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := SampleN(LogNormal{Mu: 2, Sigma: 0.7}, 2000, rng)
+	d := LogNormal{Mu: 2, Sigma: 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KolmogorovSmirnov(xs, d)
+	}
+}
+
+func BenchmarkFitAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := SampleN(LogNormal{Mu: 3, Sigma: 1.2}, 2000, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FitAll(xs)
+	}
+}
+
+func BenchmarkECDFQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewECDF(SampleN(Normal{Mu: 50, Sigma: 10}, 10000, rng))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.At(float64(i % 100))
+	}
+}

@@ -1,0 +1,325 @@
+// Package stats provides the statistical substrate for SimMR: parametric
+// distributions used by the synthetic trace generator, empirical CDFs and
+// histograms used by the profiler, the symmetric Kullback-Leibler
+// divergence used in Table I of the paper, the Kolmogorov-Smirnov
+// statistic, and distribution fitting used to recreate the Facebook
+// workload model (§V-C).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a univariate continuous distribution. All durations in SimMR
+// are nonnegative seconds, so samplers clamp at zero.
+type Dist interface {
+	// Sample draws one value using the supplied source.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// String names the distribution with its parameters.
+	String() string
+}
+
+// Constant is a degenerate distribution: every sample equals V.
+type Constant struct{ V float64 }
+
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+func (c Constant) Mean() float64             { return c.V }
+func (c Constant) CDF(x float64) float64 {
+	if x < c.V {
+		return 0
+	}
+	return 1
+}
+func (c Constant) String() string { return fmt.Sprintf("Constant(%g)", c.V) }
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct{ A, B float64 }
+
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.A + rng.Float64()*(u.B-u.A) }
+func (u Uniform) Mean() float64                 { return (u.A + u.B) / 2 }
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x < u.A:
+		return 0
+	case x > u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+func (u Uniform) String() string { return fmt.Sprintf("Uniform(%g,%g)", u.A, u.B) }
+
+// Exponential has rate 1/MeanV (mean MeanV).
+type Exponential struct{ MeanV float64 }
+
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.MeanV }
+func (e Exponential) Mean() float64                 { return e.MeanV }
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/e.MeanV)
+}
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(mean=%g)", e.MeanV) }
+
+// Normal is the Gaussian distribution with mean Mu and standard deviation
+// Sigma, truncated at zero when sampling (durations cannot be negative).
+type Normal struct{ Mu, Sigma float64 }
+
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return math.Max(0, rng.NormFloat64()*n.Sigma+n.Mu)
+}
+func (n Normal) Mean() float64 { return n.Mu }
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+func (n Normal) String() string { return fmt.Sprintf("Normal(%g,%g)", n.Mu, n.Sigma) }
+
+// LogNormal is parameterized by the mean Mu and standard deviation Sigma
+// of the underlying normal, matching the paper's LN(9.9511, 1.6764)
+// notation for the Facebook map-task durations.
+type LogNormal struct{ Mu, Sigma float64 }
+
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(rng.NormFloat64()*l.Sigma + l.Mu)
+}
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+func (l LogNormal) String() string { return fmt.Sprintf("LogNormal(%g,%g)", l.Mu, l.Sigma) }
+
+// Weibull has shape K and scale Lambda.
+type Weibull struct{ K, Lambda float64 }
+
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(k=%g,λ=%g)", w.K, w.Lambda) }
+
+// Gamma has shape K and scale Theta. Sampling uses Marsaglia-Tsang for
+// K >= 1 and the boost transform for K < 1.
+type Gamma struct{ K, Theta float64 }
+
+func (g Gamma) Sample(rng *rand.Rand) float64 {
+	k := g.K
+	boost := 1.0
+	if k < 1 {
+		// X_k = X_{k+1} * U^{1/k}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		boost = math.Pow(u, 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * boost * g.Theta
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * boost * g.Theta
+		}
+	}
+}
+func (g Gamma) Mean() float64 { return g.K * g.Theta }
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return lowerIncompleteGammaRegularized(g.K, x/g.Theta)
+}
+func (g Gamma) String() string { return fmt.Sprintf("Gamma(k=%g,θ=%g)", g.K, g.Theta) }
+
+// Pareto has scale Xm (minimum value) and shape Alpha.
+type Pareto struct{ Xm, Alpha float64 }
+
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g,α=%g)", p.Xm, p.Alpha) }
+
+// Shifted wraps a distribution and adds a constant offset to every
+// sample. It models a fixed startup cost on top of a variable part
+// (e.g. JVM task launch overhead plus data-dependent processing).
+type Shifted struct {
+	Base  Dist
+	Shift float64
+}
+
+func (s Shifted) Sample(rng *rand.Rand) float64 { return s.Base.Sample(rng) + s.Shift }
+func (s Shifted) Mean() float64                 { return s.Base.Mean() + s.Shift }
+func (s Shifted) CDF(x float64) float64         { return s.Base.CDF(x - s.Shift) }
+func (s Shifted) String() string                { return fmt.Sprintf("%v+%g", s.Base, s.Shift) }
+
+// lowerIncompleteGammaRegularized computes P(a, x) = γ(a,x)/Γ(a) using the
+// series expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes §6.2).
+func lowerIncompleteGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x); P = 1 - Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}
+
+// SampleN draws n samples from d into a new slice.
+func SampleN(d Dist, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// Summary holds the basic order statistics of a sample that the paper's
+// job profiles rely on (average and maximum task durations, §V-A).
+type Summary struct {
+	N         int
+	Min, Max  float64
+	Mean, Std float64
+	P50, P95  float64
+	Total     float64
+}
+
+// Summarize computes summary statistics of xs. An empty slice yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Total += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Total / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Quantile(sorted, 0.50)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of an already sorted
+// sample using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,142 @@
+package stats
+
+import "math"
+
+// KL computes the Kullback-Leibler divergence D(P||Q) = Σ P(i)·log(P(i)/Q(i))
+// over two discrete probability vectors of equal length, in nats.
+//
+// Bins where P(i) = 0 contribute nothing. Bins where P(i) > 0 but
+// Q(i) = 0 make the divergence infinite in theory; following standard
+// practice for histogram-based estimation (and so that Table I values
+// stay finite, as in the paper), Q is smoothed with a small epsilon mass
+// before normalization.
+func KL(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KL over vectors of different lengths")
+	}
+	const eps = 1e-10
+	var qsum float64
+	for _, x := range q {
+		qsum += x + eps
+	}
+	var d float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := (q[i] + eps) / qsum
+		d += pi * math.Log(pi/qi)
+	}
+	return d
+}
+
+// SymmetricKL is the symmetrized divergence used in Table I of the paper:
+// D'(P||Q) = (D(P||Q) + D(Q||P)) / 2.
+func SymmetricKL(p, q []float64) float64 {
+	return (KL(p, q) + KL(q, p)) / 2
+}
+
+// DefaultKLBins is the histogram resolution used when comparing two
+// duration samples. Fine enough to separate different applications,
+// coarse enough that two executions of the same application mostly share
+// bins.
+const DefaultKLBins = 20
+
+// SampleSymmetricKL bins two duration samples over their common support
+// and returns the symmetric KL divergence of the resulting histograms.
+// This is the exact procedure behind Table I: comparing phase-duration
+// distributions of two executions.
+func SampleSymmetricKL(a, b []float64, bins int) float64 {
+	if bins <= 0 {
+		bins = DefaultKLBins
+	}
+	lo, hi := CommonRange(a, b)
+	ha := NewHistogram(a, lo, hi, bins)
+	hb := NewHistogram(b, lo, hi, bins)
+	return SymmetricKL(ha.Probs(), hb.Probs())
+}
+
+// MinAvgMax is a (minimum, average, maximum) triple as reported per cell
+// in Table I.
+type MinAvgMax struct {
+	Min, Avg, Max float64
+}
+
+// Collect reduces a list of values to its MinAvgMax. Empty input yields
+// a zero value.
+func Collect(xs []float64) MinAvgMax {
+	if len(xs) == 0 {
+		return MinAvgMax{}
+	}
+	m := MinAvgMax{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+		sum += x
+	}
+	m.Avg = sum / float64(len(xs))
+	return m
+}
+
+// PairwiseSymmetricKL computes the symmetric KL divergence for every
+// unordered pair among the given samples (e.g. 5 executions of one
+// application → C(5,2) = 10 comparisons, as in Table I) and returns all
+// pairwise values.
+func PairwiseSymmetricKL(samples [][]float64, bins int) []float64 {
+	var out []float64
+	for i := 0; i < len(samples); i++ {
+		for j := i + 1; j < len(samples); j++ {
+			out = append(out, SampleSymmetricKL(samples[i], samples[j], bins))
+		}
+	}
+	return out
+}
+
+// KolmogorovSmirnov returns the KS statistic sup_x |F_n(x) - F(x)|
+// between a sample and a reference distribution — the goodness-of-fit
+// measure the paper uses when fitting the Facebook workload (§V-C,
+// "Kolmogorov-Smirnov value of 0.1056").
+func KolmogorovSmirnov(sample []float64, d Dist) float64 {
+	e := NewECDF(sample)
+	n := e.Len()
+	if n == 0 {
+		return math.NaN()
+	}
+	var ks float64
+	for i, x := range e.sorted {
+		fx := d.CDF(x)
+		// ECDF jumps at each order statistic: compare both sides.
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if v := math.Abs(hi - fx); v > ks {
+			ks = v
+		}
+		if v := math.Abs(fx - lo); v > ks {
+			ks = v
+		}
+	}
+	return ks
+}
+
+// KolmogorovSmirnovTwoSample returns the two-sample KS statistic
+// sup_x |F_a(x) - F_b(x)|.
+func KolmogorovSmirnovTwoSample(a, b []float64) float64 {
+	ea, eb := NewECDF(a), NewECDF(b)
+	if ea.Len() == 0 || eb.Len() == 0 {
+		return math.NaN()
+	}
+	var ks float64
+	for _, xs := range [][]float64{ea.sorted, eb.sorted} {
+		for _, x := range xs {
+			if v := math.Abs(ea.At(x) - eb.At(x)); v > ks {
+				ks = v
+			}
+		}
+	}
+	return ks
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKLIdenticalIsZero(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	if d := KL(p, p); d > 1e-6 {
+		t.Fatalf("D(P||P) = %g, want ~0", d)
+	}
+	if d := SymmetricKL(p, p); d > 1e-6 {
+		t.Fatalf("D'(P||P) = %g, want ~0", d)
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	// Gibbs' inequality: D(P||Q) >= 0 for normalized P, Q.
+	prop := func(raw1, raw2 [8]float64) bool {
+		p := normalize(raw1[:])
+		q := normalize(raw2[:])
+		if p == nil || q == nil {
+			return true
+		}
+		// epsilon smoothing can push slightly below zero; allow tiny slack
+		return KL(p, q) > -1e-6 && SymmetricKL(p, q) > -1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetricKLIsSymmetricProperty(t *testing.T) {
+	prop := func(raw1, raw2 [8]float64) bool {
+		p := normalize(raw1[:])
+		q := normalize(raw2[:])
+		if p == nil || q == nil {
+			return true
+		}
+		return math.Abs(SymmetricKL(p, q)-SymmetricKL(q, p)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil
+		}
+		out[i] = math.Abs(x)
+		sum += out[i]
+	}
+	if sum == 0 {
+		return nil
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func TestKLMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KL([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestKLKnownValue(t *testing.T) {
+	// D([1,0] || [0.5,0.5]) = log 2.
+	p := []float64{1, 0}
+	q := []float64{0.5, 0.5}
+	if d := KL(p, q); !approxEqual(d, math.Ln2, 1e-6) {
+		t.Fatalf("KL = %g, want ln2 = %g", d, math.Ln2)
+	}
+}
+
+// The core claim behind Table I: two executions of the same application
+// (same duration distribution) have small symmetric KL, while executions
+// of different applications have much larger KL.
+func TestSameAppKLMuchSmallerThanCrossApp(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	appA := Normal{Mu: 30, Sigma: 5}   // e.g. WordCount maps
+	appB := Normal{Mu: 300, Sigma: 40} // e.g. WikiTrends maps
+
+	a1 := SampleN(appA, 500, rng)
+	a2 := SampleN(appA, 500, rng)
+	b1 := SampleN(appB, 500, rng)
+
+	within := SampleSymmetricKL(a1, a2, DefaultKLBins)
+	cross := SampleSymmetricKL(a1, b1, DefaultKLBins)
+	if within >= cross {
+		t.Fatalf("within-app KL %.3f not < cross-app KL %.3f", within, cross)
+	}
+	if cross < 5*within {
+		t.Fatalf("expected cross-app KL to dominate: within=%.3f cross=%.3f", within, cross)
+	}
+}
+
+func TestPairwiseSymmetricKLCount(t *testing.T) {
+	// 5 executions -> C(5,2) = 10 pairwise values, as in Table I.
+	rng := rand.New(rand.NewSource(3))
+	samples := make([][]float64, 5)
+	for i := range samples {
+		samples[i] = SampleN(Exponential{MeanV: 10}, 200, rng)
+	}
+	vals := PairwiseSymmetricKL(samples, 0)
+	if len(vals) != 10 {
+		t.Fatalf("got %d pairwise values, want 10", len(vals))
+	}
+	for _, v := range vals {
+		if v < -1e-9 || math.IsNaN(v) {
+			t.Fatalf("invalid pairwise KL %g", v)
+		}
+	}
+}
+
+func TestCollect(t *testing.T) {
+	m := Collect([]float64{3, 1, 2})
+	if m.Min != 1 || m.Max != 3 || !approxEqual(m.Avg, 2, 1e-12) {
+		t.Fatalf("collect: %+v", m)
+	}
+	if z := Collect(nil); z.Min != 0 || z.Avg != 0 || z.Max != 0 {
+		t.Fatalf("empty collect: %+v", z)
+	}
+}
+
+func TestKSAgainstOwnDistributionSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := LogNormal{Mu: 2, Sigma: 0.7}
+	xs := SampleN(d, 5000, rng)
+	ks := KolmogorovSmirnov(xs, d)
+	if ks > 0.05 {
+		t.Fatalf("KS against own distribution = %.4f, too large", ks)
+	}
+}
+
+func TestKSAgainstWrongDistributionLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := SampleN(LogNormal{Mu: 2, Sigma: 0.7}, 5000, rng)
+	ks := KolmogorovSmirnov(xs, Uniform{0, 100})
+	if ks < 0.2 {
+		t.Fatalf("KS against wrong distribution = %.4f, suspiciously small", ks)
+	}
+}
+
+func TestKSEmptySampleNaN(t *testing.T) {
+	if !math.IsNaN(KolmogorovSmirnov(nil, Uniform{0, 1})) {
+		t.Fatal("empty sample KS should be NaN")
+	}
+	if !math.IsNaN(KolmogorovSmirnovTwoSample(nil, []float64{1})) {
+		t.Fatal("empty two-sample KS should be NaN")
+	}
+}
+
+func TestTwoSampleKS(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := SampleN(Normal{Mu: 10, Sigma: 1}, 2000, rng)
+	b := SampleN(Normal{Mu: 10, Sigma: 1}, 2000, rng)
+	c := SampleN(Normal{Mu: 20, Sigma: 1}, 2000, rng)
+	same := KolmogorovSmirnovTwoSample(a, b)
+	diff := KolmogorovSmirnovTwoSample(a, c)
+	if same > 0.08 {
+		t.Fatalf("same-distribution two-sample KS = %.4f", same)
+	}
+	if diff < 0.5 {
+		t.Fatalf("different-distribution two-sample KS = %.4f", diff)
+	}
+}
+
+func TestSampleSymmetricKLDefaultBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := SampleN(Exponential{MeanV: 5}, 300, rng)
+	b := SampleN(Exponential{MeanV: 5}, 300, rng)
+	// bins <= 0 selects DefaultKLBins; must not panic and must be finite.
+	v := SampleSymmetricKL(a, b, -1)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("bad KL value %g", v)
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !approxEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 3 || e.Len() != 4 {
+		t.Fatalf("min/max/len wrong: %v %v %v", e.Min(), e.Max(), e.Len())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 {
+		t.Fatal("empty ECDF should be 0 everywhere")
+	}
+	if !math.IsNaN(e.Min()) || !math.IsNaN(e.Max()) {
+		t.Fatal("empty ECDF min/max should be NaN")
+	}
+	if e.Points(10) != nil {
+		t.Fatal("empty ECDF should yield no points")
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e := NewECDF(xs)
+	xs[0] = -100
+	if e.At(0) != 0 {
+		t.Fatal("ECDF aliased caller's slice")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{0, 10})
+	pts := e.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Fatalf("endpoints wrong: %+v %+v", pts[0], pts[10])
+	}
+	if pts[10].Y != 1 {
+		t.Fatalf("last point should reach 1: %+v", pts[10])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("CDF points must be nondecreasing")
+		}
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	prop := func(xs []float64, a, b float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := NewECDF(xs)
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 9.99}, 0, 10, 10)
+	if h.Total != 5 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	want := []int{1, 1, 1, 1, 0, 0, 0, 0, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram([]float64{-5, 15}, 0, 10, 5)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+	if h.Total != 2 {
+		t.Fatalf("total = %d", h.Total)
+	}
+}
+
+func TestHistogramProbsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := SampleN(Exponential{MeanV: 3}, 1000, rng)
+	h := NewHistogram(xs, 0, 20, 15)
+	var sum float64
+	for _, p := range h.Probs() {
+		sum += p
+	}
+	if !approxEqual(sum, 1, 1e-12) {
+		t.Fatalf("probs sum to %f", sum)
+	}
+}
+
+func TestHistogramEmptyProbs(t *testing.T) {
+	h := NewHistogram(nil, 0, 1, 3)
+	for _, p := range h.Probs() {
+		if p != 0 {
+			t.Fatal("empty histogram probs should be zero")
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":   func() { NewHistogram(nil, 0, 1, 0) },
+		"empty range": func() { NewHistogram(nil, 1, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCommonRange(t *testing.T) {
+	lo, hi := CommonRange([]float64{1, 5}, []float64{3, 8})
+	if lo != 1 || hi <= 8 {
+		t.Fatalf("common range = [%g,%g)", lo, hi)
+	}
+	lo, hi = CommonRange(nil, nil)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty common range = [%g,%g)", lo, hi)
+	}
+	// Degenerate: all values identical.
+	lo, hi = CommonRange([]float64{4}, []float64{4})
+	if hi <= lo {
+		t.Fatalf("degenerate range must be nonempty: [%g,%g)", lo, hi)
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistQuantileClosedForms(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		p, x float64
+		tol  float64
+	}{
+		{Constant{5}, 0.3, 5, 0},
+		{Uniform{0, 10}, 0.25, 2.5, 1e-12},
+		{Exponential{MeanV: 2}, 0.5, 2 * math.Ln2, 1e-12},
+		{Normal{Mu: 0, Sigma: 1}, 0.5, 0, 1e-9},
+		{Normal{Mu: 0, Sigma: 1}, 0.975, 1.959964, 1e-5},
+		{LogNormal{Mu: 0, Sigma: 1}, 0.5, 1, 1e-9},
+		{Weibull{K: 1, Lambda: 3}, 0.5, 3 * math.Ln2, 1e-12},
+		{Pareto{Xm: 1, Alpha: 2}, 0.75, 2, 1e-12},
+		{Shifted{Base: Uniform{0, 10}, Shift: 5}, 0.5, 10, 1e-12},
+	}
+	for _, c := range cases {
+		got := DistQuantile(c.d, c.p)
+		if math.Abs(got-c.x) > c.tol {
+			t.Errorf("%v quantile(%v) = %v, want %v", c.d, c.p, got, c.x)
+		}
+	}
+}
+
+func TestDistQuantileInvertsCDF(t *testing.T) {
+	dists := []Dist{
+		Uniform{2, 9}, Exponential{MeanV: 4}, Normal{Mu: 10, Sigma: 3},
+		LogNormal{Mu: 1, Sigma: 0.6}, Weibull{K: 1.7, Lambda: 5},
+		Gamma{K: 2.2, Theta: 3}, Pareto{Xm: 1, Alpha: 2.5},
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.05, 0.25, 0.5, 0.9, 0.99} {
+			x := DistQuantile(d, p)
+			if back := d.CDF(x); math.Abs(back-p) > 1e-6 {
+				t.Errorf("%v: CDF(quantile(%v)) = %v", d, p, back)
+			}
+		}
+	}
+}
+
+func TestDistQuantileGammaBisection(t *testing.T) {
+	// Gamma has no closed form: exercises the bisection path.
+	d := Gamma{K: 3, Theta: 2}
+	x := DistQuantile(d, 0.5)
+	if math.Abs(d.CDF(x)-0.5) > 1e-6 {
+		t.Fatalf("gamma median wrong: %v", x)
+	}
+}
+
+func TestDistQuantileBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.2, 1.5, math.NaN()} {
+		if !math.IsNaN(DistQuantile(Uniform{0, 1}, p)) {
+			t.Errorf("p=%v should yield NaN", p)
+		}
+	}
+}
+
+func TestDistQuantileMatchesSampleQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := LogNormal{Mu: 2, Sigma: 0.8}
+	xs := SampleN(d, 50000, rng)
+	sorted := append([]float64(nil), xs...)
+	sortFloats(sorted)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		analytic := DistQuantile(d, p)
+		empirical := Quantile(sorted, p)
+		if math.Abs(analytic-empirical)/analytic > 0.05 {
+			t.Errorf("p=%v: analytic %v vs empirical %v", p, analytic, empirical)
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	// simple insertion-free: delegate to the stdlib through Summarize's
+	// path is overkill; use sort via interface-free shell sort
+	for gap := len(xs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(xs); i++ {
+			for j := i; j >= gap && xs[j-gap] > xs[j]; j -= gap {
+				xs[j-gap], xs[j] = xs[j], xs[j-gap]
+			}
+		}
+	}
+}
+
+func TestNormQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		if math.Abs(normQuantile(p)+normQuantile(1-p)) > 1e-8 {
+			t.Errorf("normQuantile not symmetric at %v", p)
+		}
+	}
+}

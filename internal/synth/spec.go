@@ -1,0 +1,294 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"simmr/internal/stats"
+	"simmr/internal/trace"
+)
+
+// This file implements the declarative side of Synthetic TraceGen: a
+// JSON "statistical workload description" (§III-A) that cmd/tracegen can
+// consume, so hypothetical workloads can be described in a file rather
+// than Go code.
+//
+// Distributions are written compactly, e.g.
+//
+//	"lognormal(9.9511,1.6764)"    the Facebook map fit
+//	"normal(22,4.5)+1"            normal with a constant offset
+//	"constant(64)"                fixed value
+//
+// and a workload is a weighted mix of job classes:
+//
+//	{
+//	  "name": "mixed",
+//	  "jobs": 200,
+//	  "mean_interarrival": 60,
+//	  "classes": [
+//	    {"name": "small", "weight": 3,
+//	     "num_maps": "uniform(4,40)", "num_reduces": "constant(4)",
+//	     "map": "lognormal(2.5,0.8)", "typical_shuffle": "exponential(4)",
+//	     "first_shuffle": "exponential(2)", "reduce": "normal(3,1)"},
+//	    {"name": "big", "weight": 1, ...}
+//	  ]
+//	}
+
+// ClassDesc describes one job class in the JSON workload format.
+type ClassDesc struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+
+	NumMaps    string `json:"num_maps"`
+	NumReduces string `json:"num_reduces,omitempty"`
+
+	Map            string `json:"map"`
+	FirstShuffle   string `json:"first_shuffle,omitempty"`
+	TypicalShuffle string `json:"typical_shuffle,omitempty"`
+	Reduce         string `json:"reduce,omitempty"`
+}
+
+// WorkloadDesc is the top-level JSON workload description.
+type WorkloadDesc struct {
+	Name             string      `json:"name"`
+	Jobs             int         `json:"jobs"`
+	MeanInterArrival float64     `json:"mean_interarrival"`
+	Classes          []ClassDesc `json:"classes"`
+}
+
+// ParseDist parses a compact distribution expression. Supported kinds:
+// constant(v), uniform(a,b), exponential(mean), normal(mu,sigma),
+// lognormal(mu,sigma), weibull(k,lambda), gamma(k,theta),
+// pareto(xm,alpha); any of them may carry a "+offset" suffix.
+func ParseDist(s string) (stats.Dist, error) {
+	expr := strings.TrimSpace(s)
+	if expr == "" {
+		return nil, fmt.Errorf("synth: empty distribution expression")
+	}
+	shift := 0.0
+	if i := strings.LastIndexByte(expr, ')'); i >= 0 && i+1 < len(expr) {
+		rest := strings.TrimSpace(expr[i+1:])
+		if !strings.HasPrefix(rest, "+") {
+			return nil, fmt.Errorf("synth: trailing %q in %q", rest, s)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest[1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("synth: bad offset in %q: %w", s, err)
+		}
+		shift = v
+		expr = strings.TrimSpace(expr[:i+1])
+	}
+	open := strings.IndexByte(expr, '(')
+	if open <= 0 || !strings.HasSuffix(expr, ")") {
+		return nil, fmt.Errorf("synth: malformed distribution %q (want kind(args))", s)
+	}
+	kind := strings.ToLower(strings.TrimSpace(expr[:open]))
+	var args []float64
+	argsStr := expr[open+1 : len(expr)-1]
+	if strings.TrimSpace(argsStr) != "" {
+		for _, part := range strings.Split(argsStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("synth: bad argument %q in %q: %w", part, s, err)
+			}
+			args = append(args, v)
+		}
+	}
+	d, err := buildDist(kind, args)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %q: %w", s, err)
+	}
+	if shift != 0 {
+		d = stats.Shifted{Base: d, Shift: shift}
+	}
+	return d, nil
+}
+
+func buildDist(kind string, args []float64) (stats.Dist, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d argument(s), got %d", kind, n, len(args))
+		}
+		return nil
+	}
+	switch kind {
+	case "constant":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return stats.Constant{V: args[0]}, nil
+	case "uniform":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[1] < args[0] {
+			return nil, fmt.Errorf("uniform bounds reversed")
+		}
+		return stats.Uniform{A: args[0], B: args[1]}, nil
+	case "exponential":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 {
+			return nil, fmt.Errorf("exponential mean must be positive")
+		}
+		return stats.Exponential{MeanV: args[0]}, nil
+	case "normal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[1] <= 0 {
+			return nil, fmt.Errorf("normal sigma must be positive")
+		}
+		return stats.Normal{Mu: args[0], Sigma: args[1]}, nil
+	case "lognormal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[1] <= 0 {
+			return nil, fmt.Errorf("lognormal sigma must be positive")
+		}
+		return stats.LogNormal{Mu: args[0], Sigma: args[1]}, nil
+	case "weibull":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 || args[1] <= 0 {
+			return nil, fmt.Errorf("weibull parameters must be positive")
+		}
+		return stats.Weibull{K: args[0], Lambda: args[1]}, nil
+	case "gamma":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 || args[1] <= 0 {
+			return nil, fmt.Errorf("gamma parameters must be positive")
+		}
+		return stats.Gamma{K: args[0], Theta: args[1]}, nil
+	case "pareto":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0] <= 0 || args[1] <= 0 {
+			return nil, fmt.Errorf("pareto parameters must be positive")
+		}
+		return stats.Pareto{Xm: args[0], Alpha: args[1]}, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution kind %q", kind)
+	}
+}
+
+// shape compiles a class description into a JobShape.
+func (c *ClassDesc) shape() (*JobShape, error) {
+	if c.NumMaps == "" || c.Map == "" {
+		return nil, fmt.Errorf("synth: class %q needs num_maps and map", c.Name)
+	}
+	s := &JobShape{Name: c.Name}
+	var err error
+	if s.NumMaps, err = ParseDist(c.NumMaps); err != nil {
+		return nil, fmt.Errorf("synth: class %q num_maps: %w", c.Name, err)
+	}
+	if s.Map, err = ParseDist(c.Map); err != nil {
+		return nil, fmt.Errorf("synth: class %q map: %w", c.Name, err)
+	}
+	if c.NumReduces != "" {
+		if s.NumReduces, err = ParseDist(c.NumReduces); err != nil {
+			return nil, fmt.Errorf("synth: class %q num_reduces: %w", c.Name, err)
+		}
+		if c.TypicalShuffle == "" || c.Reduce == "" {
+			return nil, fmt.Errorf("synth: class %q has reduces but no typical_shuffle/reduce", c.Name)
+		}
+		if s.TypicalShuffle, err = ParseDist(c.TypicalShuffle); err != nil {
+			return nil, fmt.Errorf("synth: class %q typical_shuffle: %w", c.Name, err)
+		}
+		if s.Reduce, err = ParseDist(c.Reduce); err != nil {
+			return nil, fmt.Errorf("synth: class %q reduce: %w", c.Name, err)
+		}
+		if c.FirstShuffle != "" {
+			if s.FirstShuffle, err = ParseDist(c.FirstShuffle); err != nil {
+				return nil, fmt.Errorf("synth: class %q first_shuffle: %w", c.Name, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// ParseWorkload parses and validates a JSON workload description.
+func ParseWorkload(data []byte) (*WorkloadDesc, error) {
+	var wd WorkloadDesc
+	if err := json.Unmarshal(data, &wd); err != nil {
+		return nil, fmt.Errorf("synth: parse workload: %w", err)
+	}
+	if wd.Jobs <= 0 {
+		return nil, fmt.Errorf("synth: workload %q: jobs = %d", wd.Name, wd.Jobs)
+	}
+	if wd.MeanInterArrival < 0 {
+		return nil, fmt.Errorf("synth: workload %q: negative mean_interarrival", wd.Name)
+	}
+	if len(wd.Classes) == 0 {
+		return nil, fmt.Errorf("synth: workload %q has no classes", wd.Name)
+	}
+	total := 0.0
+	for i := range wd.Classes {
+		c := &wd.Classes[i]
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("synth: class %q: negative weight", c.Name)
+		}
+		if c.Weight == 0 {
+			c.Weight = 1
+		}
+		total += c.Weight
+		if _, err := c.shape(); err != nil {
+			return nil, err
+		}
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("synth: workload %q: zero total weight", wd.Name)
+	}
+	return &wd, nil
+}
+
+// Generate draws the described workload as a replayable trace.
+func (wd *WorkloadDesc) Generate(rng *rand.Rand) (*trace.Trace, error) {
+	shapes := make([]*JobShape, len(wd.Classes))
+	weights := make([]float64, len(wd.Classes))
+	total := 0.0
+	for i := range wd.Classes {
+		s, err := wd.Classes[i].shape()
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = s
+		weights[i] = wd.Classes[i].Weight
+		total += weights[i]
+	}
+	tr := &trace.Trace{Name: wd.Name}
+	t := 0.0
+	for i := 0; i < wd.Jobs; i++ {
+		shape := shapes[pickWeighted(weights, total, rng)]
+		tpl, err := shape.Generate(rng)
+		if err != nil {
+			return nil, err
+		}
+		tr.Jobs = append(tr.Jobs, &trace.Job{Arrival: t, Template: tpl})
+		if wd.MeanInterArrival > 0 {
+			t += rng.ExpFloat64() * wd.MeanInterArrival
+		}
+	}
+	tr.Normalize()
+	return tr, nil
+}
+
+func pickWeighted(weights []float64, total float64, rng *rand.Rand) int {
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

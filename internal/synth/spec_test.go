@@ -1,0 +1,181 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simmr/internal/stats"
+)
+
+func TestParseDistKinds(t *testing.T) {
+	cases := []struct {
+		expr string
+		mean float64
+	}{
+		{"constant(5)", 5},
+		{"uniform(2,8)", 5},
+		{"exponential(30)", 30},
+		{"normal(10,2)", 10},
+		{"lognormal(0,0.5)", math.Exp(0.125)},
+		{"weibull(1,20)", 20},
+		{"gamma(3,4)", 12},
+		{"pareto(1,3)", 1.5},
+		{"normal(10,2)+5", 15},
+		{" exponential( 4 ) + 1 ", 5},
+		{"CONSTANT(3)", 3}, // kind is case-insensitive
+	}
+	for _, c := range cases {
+		d, err := ParseDist(c.expr)
+		if err != nil {
+			t.Errorf("%q: %v", c.expr, err)
+			continue
+		}
+		if math.Abs(d.Mean()-c.mean) > 1e-9 {
+			t.Errorf("%q: mean %v, want %v", c.expr, d.Mean(), c.mean)
+		}
+	}
+}
+
+func TestParseDistErrors(t *testing.T) {
+	bad := []string{
+		"", "lognormal", "lognormal()", "lognormal(1)", "lognormal(1,2,3)",
+		"bogus(1)", "normal(1,0)", "normal(1,-2)", "uniform(5,2)",
+		"exponential(0)", "weibull(0,1)", "gamma(1,0)", "pareto(0,1)",
+		"normal(1,2)x", "normal(1,2)+abc", "normal(a,b)", "(1,2)",
+	}
+	for _, expr := range bad {
+		if _, err := ParseDist(expr); err == nil {
+			t.Errorf("%q: expected error", expr)
+		}
+	}
+}
+
+func TestParseDistSampling(t *testing.T) {
+	d, err := ParseDist("lognormal(9.9511,1.6764)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(stats.LogNormal); !ok {
+		t.Fatalf("got %T", d)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if v := d.Sample(rng); v <= 0 {
+			t.Fatal("lognormal sample must be positive")
+		}
+	}
+}
+
+const testWorkloadJSON = `{
+  "name": "mixed",
+  "jobs": 40,
+  "mean_interarrival": 30,
+  "classes": [
+    {"name": "small", "weight": 3,
+     "num_maps": "uniform(4,20)", "num_reduces": "constant(4)",
+     "map": "exponential(10)", "typical_shuffle": "exponential(4)",
+     "first_shuffle": "exponential(2)", "reduce": "normal(3,1)"},
+    {"name": "maponly", "weight": 1,
+     "num_maps": "constant(8)", "map": "constant(5)"}
+  ]
+}`
+
+func TestParseWorkloadAndGenerate(t *testing.T) {
+	wd, err := ParseWorkload([]byte(testWorkloadJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Name != "mixed" || len(wd.Classes) != 2 {
+		t.Fatalf("parsed: %+v", wd)
+	}
+	rng := rand.New(rand.NewSource(2))
+	tr, err := wd.Generate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 40 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	for _, j := range tr.Jobs {
+		classes[j.Template.AppName]++
+	}
+	if classes["small"] == 0 || classes["maponly"] == 0 {
+		t.Fatalf("class mix missing: %v", classes)
+	}
+	// weight 3:1 — small should dominate
+	if classes["small"] < classes["maponly"] {
+		t.Fatalf("weights ignored: %v", classes)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	bad := map[string]string{
+		"not json":      `{`,
+		"zero jobs":     `{"jobs":0,"classes":[{"name":"a","num_maps":"constant(1)","map":"constant(1)"}]}`,
+		"no classes":    `{"jobs":5,"classes":[]}`,
+		"neg arrival":   `{"jobs":5,"mean_interarrival":-2,"classes":[{"name":"a","num_maps":"constant(1)","map":"constant(1)"}]}`,
+		"neg weight":    `{"jobs":5,"classes":[{"name":"a","weight":-1,"num_maps":"constant(1)","map":"constant(1)"}]}`,
+		"bad dist":      `{"jobs":5,"classes":[{"name":"a","num_maps":"bogus(1)","map":"constant(1)"}]}`,
+		"missing map":   `{"jobs":5,"classes":[{"name":"a","num_maps":"constant(1)"}]}`,
+		"reduces no sh": `{"jobs":5,"classes":[{"name":"a","num_maps":"constant(1)","map":"constant(1)","num_reduces":"constant(2)"}]}`,
+	}
+	for name, js := range bad {
+		if _, err := ParseWorkload([]byte(js)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWorkloadDefaultWeight(t *testing.T) {
+	js := `{"jobs":5,"classes":[{"name":"a","num_maps":"constant(1)","map":"constant(1)"}]}`
+	wd, err := ParseWorkload([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Classes[0].Weight != 1 {
+		t.Fatalf("default weight = %v", wd.Classes[0].Weight)
+	}
+}
+
+func TestWorkloadZeroInterArrival(t *testing.T) {
+	js := `{"jobs":5,"classes":[{"name":"a","num_maps":"constant(2)","map":"constant(1)"}]}`
+	wd, err := ParseWorkload([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := wd.Generate(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.Arrival != 0 {
+			t.Fatal("zero inter-arrival should put all jobs at t=0")
+		}
+	}
+}
+
+func TestGeneratedWorkloadDeterministic(t *testing.T) {
+	wd, err := ParseWorkload([]byte(testWorkloadJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := wd.Generate(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wd.Generate(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Arrival != b.Jobs[i].Arrival ||
+			a.Jobs[i].Template.NumMaps != b.Jobs[i].Template.NumMaps {
+			t.Fatal("same-seed generations differ")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is the Trace Database of §III (Figure 4): persistent, indexed
+// storage for job traces "for efficient lookup and storage". Traces are
+// stored one JSON file per trace under a root directory, with an
+// in-memory index rebuilt on open. DB is safe for concurrent use.
+type DB struct {
+	mu   sync.RWMutex
+	root string
+	idx  map[string]string // trace name -> file path
+}
+
+// OpenDB opens (creating if needed) a trace database rooted at dir.
+func OpenDB(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: open db: %w", err)
+	}
+	db := &DB{root: dir, idx: make(map[string]string)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: scan db: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace.json") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".trace.json")
+		db.idx[name] = filepath.Join(dir, e.Name())
+	}
+	return db, nil
+}
+
+// Put stores (or replaces) a trace under its Name. The trace must
+// validate. Writes are atomic: a temp file is renamed into place.
+func (db *DB) Put(tr *Trace) error {
+	if tr.Name == "" {
+		return fmt.Errorf("trace: Put: trace has no name")
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace: Put %q: %w", tr.Name, err)
+	}
+	data, err := json.MarshalIndent(tr, "", " ")
+	if err != nil {
+		return fmt.Errorf("trace: encode %q: %w", tr.Name, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	path := filepath.Join(db.root, sanitize(tr.Name)+".trace.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("trace: write %q: %w", tr.Name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("trace: commit %q: %w", tr.Name, err)
+	}
+	db.idx[tr.Name] = path
+	return nil
+}
+
+// Get loads a trace by name.
+func (db *DB) Get(name string) (*Trace, error) {
+	db.mu.RLock()
+	path, ok := db.idx[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("trace: %q not found", name)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read %q: %w", name, err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("trace: decode %q: %w", name, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: stored trace %q corrupt: %w", name, err)
+	}
+	return &tr, nil
+}
+
+// List returns the stored trace names, sorted.
+func (db *DB) List() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.idx))
+	for n := range db.idx {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a trace. Deleting a missing trace is not an error.
+func (db *DB) Delete(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	path, ok := db.idx[name]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("trace: delete %q: %w", name, err)
+	}
+	delete(db.idx, name)
+	return nil
+}
+
+// sanitize makes a trace name filesystem-safe.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Encode writes a trace as JSON to a writer-friendly byte slice. It is
+// the wire format used by cmd/tracegen and cmd/mrprofiler.
+func Encode(tr *Trace) ([]byte, error) {
+	return json.MarshalIndent(tr, "", " ")
+}
+
+// Decode parses a trace from JSON and validates it.
+func Decode(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}

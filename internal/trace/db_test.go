@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testTrace(name string) *Trace {
+	return &Trace{Name: name, Jobs: []*Job{
+		{ID: 0, Arrival: 0, Template: validTemplate()},
+	}}
+}
+
+func TestDBPutGetRoundTrip(t *testing.T) {
+	db, err := OpenDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace("run-1")
+	if err := db.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "run-1" || len(got.Jobs) != 1 ||
+		got.Jobs[0].Template.AppName != "WordCount" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDBGetMissing(t *testing.T) {
+	db, _ := OpenDB(t.TempDir())
+	if _, err := db.Get("nope"); err == nil {
+		t.Fatal("expected error for missing trace")
+	}
+}
+
+func TestDBPutRejectsInvalid(t *testing.T) {
+	db, _ := OpenDB(t.TempDir())
+	if err := db.Put(&Trace{Name: ""}); err == nil {
+		t.Fatal("unnamed trace should be rejected")
+	}
+	if err := db.Put(&Trace{Name: "empty"}); err == nil {
+		t.Fatal("empty trace should be rejected")
+	}
+}
+
+func TestDBListAndDelete(t *testing.T) {
+	db, _ := OpenDB(t.TempDir())
+	for _, n := range []string{"b", "a", "c"} {
+		if err := db.Put(testTrace(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.List()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("list = %v", got)
+	}
+	if err := db.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("b"); err != nil {
+		t.Fatal("deleting missing trace should be a no-op")
+	}
+	if got := db.List(); len(got) != 2 {
+		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestDBReopenSeesPersistedTraces(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := OpenDB(dir)
+	if err := db.Put(testTrace("persist")); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db2.Get("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Template.NumMaps != 4 {
+		t.Fatal("reopened trace corrupt")
+	}
+}
+
+func TestDBOverwrite(t *testing.T) {
+	db, _ := OpenDB(t.TempDir())
+	tr := testTrace("x")
+	if err := db.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := testTrace("x")
+	tr2.Jobs[0].Arrival = 42
+	if err := db.Put(tr2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Get("x")
+	if got.Jobs[0].Arrival != 42 {
+		t.Fatal("overwrite did not take effect")
+	}
+	if len(db.List()) != 1 {
+		t.Fatal("overwrite created a second entry")
+	}
+}
+
+func TestDBCorruptFileDetected(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := OpenDB(dir)
+	if err := db.Put(testTrace("bad")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk.
+	path := filepath.Join(dir, "bad.trace.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("bad"); err == nil {
+		t.Fatal("corrupt trace should fail to load")
+	}
+}
+
+func TestDBSanitizesNames(t *testing.T) {
+	db, _ := OpenDB(t.TempDir())
+	tr := testTrace("weird/name with spaces!")
+	if err := db.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("weird/name with spaces!"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBConcurrentAccess(t *testing.T) {
+	db, _ := OpenDB(t.TempDir())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if err := db.Put(testTrace(name)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := db.Get(name); err != nil {
+				t.Error(err)
+			}
+			db.List()
+		}(i)
+	}
+	wg.Wait()
+	if len(db.List()) != 8 {
+		t.Fatalf("expected 8 traces, got %d", len(db.List()))
+	}
+}
+
+func TestDBIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.List()) != 0 {
+		t.Fatalf("foreign files indexed: %v", db.List())
+	}
+}

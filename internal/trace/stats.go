@@ -1,0 +1,96 @@
+package trace
+
+import "sort"
+
+// AppStats aggregates the jobs of one application within a trace.
+type AppStats struct {
+	Jobs, Maps, Reduces int
+	// MeanMapDur / MeanReduceDur are means over all task durations of
+	// the application's jobs, in seconds.
+	MeanMapDur    float64
+	MeanReduceDur float64
+	// MeanShuffleDur averages the typical-shuffle durations.
+	MeanShuffleDur float64
+}
+
+// Stats is an operator-facing summary of a trace: what cmd/simmr -info
+// prints before anyone spends time simulating.
+type Stats struct {
+	Jobs                    int
+	TotalMaps, TotalReduces int
+	// Span is the arrival time of the last job.
+	Span float64
+	// SerialRuntime is total task-seconds (see Trace.SerialRuntime).
+	SerialRuntime float64
+	// WithDeadlines counts jobs carrying deadlines.
+	WithDeadlines int
+	// Apps maps application name to its aggregate, with AppNames giving
+	// deterministic iteration order.
+	Apps     map[string]AppStats
+	AppNames []string
+}
+
+// Stats computes the summary. It does not require a validated trace but
+// skips nil jobs and templates defensively.
+func (tr *Trace) Stats() Stats {
+	s := Stats{Apps: make(map[string]AppStats)}
+	type accum struct {
+		mapDur, redDur, shDur float64
+		mapN, redN, shN       int
+	}
+	accums := make(map[string]*accum)
+	for _, j := range tr.Jobs {
+		if j == nil || j.Template == nil {
+			continue
+		}
+		s.Jobs++
+		s.TotalMaps += j.Template.NumMaps
+		s.TotalReduces += j.Template.NumReduces
+		if j.Arrival > s.Span {
+			s.Span = j.Arrival
+		}
+		if j.HasDeadline() {
+			s.WithDeadlines++
+		}
+		name := j.Template.AppName
+		a := accums[name]
+		if a == nil {
+			a = &accum{}
+			accums[name] = a
+		}
+		app := s.Apps[name]
+		app.Jobs++
+		app.Maps += j.Template.NumMaps
+		app.Reduces += j.Template.NumReduces
+		s.Apps[name] = app
+		for _, d := range j.Template.MapDurations {
+			a.mapDur += d
+			a.mapN++
+		}
+		for _, d := range j.Template.ReduceDurations {
+			a.redDur += d
+			a.redN++
+		}
+		for _, d := range j.Template.TypicalShuffle {
+			a.shDur += d
+			a.shN++
+		}
+	}
+	s.SerialRuntime = tr.SerialRuntime()
+	for name, a := range accums {
+		app := s.Apps[name]
+		if a.mapN > 0 {
+			app.MeanMapDur = a.mapDur / float64(a.mapN)
+		}
+		if a.redN > 0 {
+			app.MeanReduceDur = a.redDur / float64(a.redN)
+		}
+		if a.shN > 0 {
+			app.MeanShuffleDur = a.shDur / float64(a.shN)
+		}
+		s.Apps[name] = app
+		s.AppNames = append(s.AppNames, name)
+	}
+	sort.Strings(s.AppNames)
+	return s
+}

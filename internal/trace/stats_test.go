@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceStats(t *testing.T) {
+	tplA := &Template{
+		AppName: "A", NumMaps: 2, NumReduces: 1,
+		MapDurations:    []float64{10, 20},
+		FirstShuffle:    []float64{1},
+		TypicalShuffle:  []float64{4},
+		ReduceDurations: []float64{6},
+	}
+	tplB := &Template{AppName: "B", NumMaps: 3, MapDurations: []float64{1, 2, 3}}
+	tr := &Trace{Jobs: []*Job{
+		{Arrival: 0, Deadline: 100, Template: tplA},
+		{Arrival: 50, Template: tplA.Clone()},
+		{Arrival: 200, Template: tplB},
+	}}
+	tr.Normalize()
+	s := tr.Stats()
+
+	if s.Jobs != 3 || s.TotalMaps != 7 || s.TotalReduces != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Span != 200 {
+		t.Fatalf("span = %v", s.Span)
+	}
+	if s.WithDeadlines != 1 {
+		t.Fatalf("deadlines = %d", s.WithDeadlines)
+	}
+	if len(s.AppNames) != 2 || s.AppNames[0] != "A" || s.AppNames[1] != "B" {
+		t.Fatalf("app names: %v", s.AppNames)
+	}
+	a := s.Apps["A"]
+	if a.Jobs != 2 || a.Maps != 4 || a.Reduces != 2 {
+		t.Fatalf("app A: %+v", a)
+	}
+	if math.Abs(a.MeanMapDur-15) > 1e-9 {
+		t.Fatalf("app A mean map = %v", a.MeanMapDur)
+	}
+	if math.Abs(a.MeanReduceDur-6) > 1e-9 || math.Abs(a.MeanShuffleDur-4) > 1e-9 {
+		t.Fatalf("app A reduce/shuffle means: %+v", a)
+	}
+	b := s.Apps["B"]
+	if b.MeanReduceDur != 0 || math.Abs(b.MeanMapDur-2) > 1e-9 {
+		t.Fatalf("app B: %+v", b)
+	}
+	// serial runtime = (30+4+6)*2 + 6 = 86
+	if math.Abs(s.SerialRuntime-86) > 1e-9 {
+		t.Fatalf("serial = %v", s.SerialRuntime)
+	}
+}
+
+func TestTraceStatsDefensive(t *testing.T) {
+	tr := &Trace{Jobs: []*Job{nil, {Arrival: 1}}}
+	s := tr.Stats()
+	if s.Jobs != 0 {
+		t.Fatalf("nil-template jobs counted: %+v", s)
+	}
+}
+
+func TestTraceStatsEmpty(t *testing.T) {
+	s := (&Trace{}).Stats()
+	if s.Jobs != 0 || len(s.AppNames) != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}

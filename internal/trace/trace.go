@@ -1,0 +1,291 @@
+// Package trace defines the replayable workload representation at the
+// heart of SimMR: the job template (§III-A of the paper), jobs with
+// arrival times and deadlines, whole workload traces, and a persistent
+// trace database.
+//
+// A job template summarizes a job's essential performance
+// characteristics during one execution in the cluster:
+//
+//	(N_M, N_R)                    number of map and reduce tasks
+//	MapDurations      (M^J)       N_M map-task durations
+//	FirstShuffle      (Sh^J_1)    durations of the non-overlapping part
+//	                              of first-wave shuffles
+//	TypicalShuffle    (Sh^J_typ)  durations of typical (later-wave) shuffles
+//	ReduceDurations   (R^J)       N_R reduce-phase durations
+//
+// Durations are seconds of simulated time.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"simmr/internal/stats"
+)
+
+// Template is the paper's job template: the per-phase task duration
+// arrays collected by MRProfiler or generated synthetically.
+type Template struct {
+	// AppName identifies the application this template profiles
+	// (e.g. "WordCount"); used for trace-database lookup.
+	AppName string `json:"app"`
+	// Dataset labels the input dataset of the profiled run (e.g. "32GB").
+	Dataset string `json:"dataset,omitempty"`
+
+	NumMaps    int `json:"num_maps"`
+	NumReduces int `json:"num_reduces"`
+
+	MapDurations    []float64 `json:"map_durations"`
+	FirstShuffle    []float64 `json:"first_shuffle"`
+	TypicalShuffle  []float64 `json:"typical_shuffle"`
+	ReduceDurations []float64 `json:"reduce_durations"`
+
+	// Counters holds optional job-level aggregate counters extracted
+	// from the logs (e.g. HDFS_BYTES_READ summed over map tasks) — the
+	// "easily extendable" metrics of §IV-A. Replay ignores them; they
+	// exist for workload analysis and trace scaling.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// Validate checks the template's internal consistency.
+func (t *Template) Validate() error {
+	switch {
+	case t.NumMaps <= 0:
+		return fmt.Errorf("trace: template %q: NumMaps = %d, need > 0", t.AppName, t.NumMaps)
+	case t.NumReduces < 0:
+		return fmt.Errorf("trace: template %q: NumReduces = %d, need >= 0", t.AppName, t.NumReduces)
+	case len(t.MapDurations) != t.NumMaps:
+		return fmt.Errorf("trace: template %q: %d map durations for %d maps", t.AppName, len(t.MapDurations), t.NumMaps)
+	case t.NumReduces > 0 && len(t.ReduceDurations) != t.NumReduces:
+		return fmt.Errorf("trace: template %q: %d reduce durations for %d reduces", t.AppName, len(t.ReduceDurations), t.NumReduces)
+	case t.NumReduces > 0 && len(t.TypicalShuffle) == 0:
+		return fmt.Errorf("trace: template %q: reduces present but no typical shuffle durations", t.AppName)
+	case t.NumReduces > 0 && len(t.FirstShuffle) == 0:
+		return fmt.Errorf("trace: template %q: reduces present but no first shuffle durations", t.AppName)
+	}
+	for phase, ds := range map[string][]float64{
+		"map": t.MapDurations, "first-shuffle": t.FirstShuffle,
+		"typical-shuffle": t.TypicalShuffle, "reduce": t.ReduceDurations,
+	} {
+		for i, d := range ds {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return fmt.Errorf("trace: template %q: %s duration %d invalid: %v", t.AppName, phase, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// PhaseProfile holds the average and maximum task duration of one
+// execution phase — the "performance invariants" the ARIA bounds model
+// consumes (§V-A).
+type PhaseProfile struct {
+	Avg, Max float64
+}
+
+// Profile is the compact job profile derived from a template.
+type Profile struct {
+	NumMaps, NumReduces int
+	Map                 PhaseProfile
+	FirstShuffle        PhaseProfile
+	TypicalShuffle      PhaseProfile
+	Reduce              PhaseProfile
+}
+
+// Profile computes the compact per-phase profile of the template.
+func (t *Template) Profile() Profile {
+	phase := func(ds []float64) PhaseProfile {
+		s := stats.Summarize(ds)
+		return PhaseProfile{Avg: s.Mean, Max: s.Max}
+	}
+	p := Profile{
+		NumMaps:    t.NumMaps,
+		NumReduces: t.NumReduces,
+		Map:        phase(t.MapDurations),
+	}
+	if len(t.FirstShuffle) > 0 {
+		p.FirstShuffle = phase(t.FirstShuffle)
+	}
+	if len(t.TypicalShuffle) > 0 {
+		p.TypicalShuffle = phase(t.TypicalShuffle)
+	}
+	if len(t.ReduceDurations) > 0 {
+		p.Reduce = phase(t.ReduceDurations)
+	}
+	return p
+}
+
+// MapDuration returns the duration of the i-th map task, cycling if the
+// engine asks for more tasks than the template recorded (never happens
+// for well-formed traces, but synthetic traces may be re-scaled).
+func (t *Template) MapDuration(i int) float64 {
+	return cycle(t.MapDurations, i)
+}
+
+// FirstShuffleDuration returns the non-overlapping first-wave shuffle
+// duration for reduce slot-index i.
+func (t *Template) FirstShuffleDuration(i int) float64 {
+	return cycle(t.FirstShuffle, i)
+}
+
+// TypicalShuffleDuration returns the typical shuffle duration for reduce
+// index i.
+func (t *Template) TypicalShuffleDuration(i int) float64 {
+	return cycle(t.TypicalShuffle, i)
+}
+
+// ReduceDuration returns the reduce-phase duration for reduce index i.
+func (t *Template) ReduceDuration(i int) float64 {
+	return cycle(t.ReduceDurations, i)
+}
+
+func cycle(ds []float64, i int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	return ds[i%len(ds)]
+}
+
+// Clone returns a deep copy of the template.
+func (t *Template) Clone() *Template {
+	c := *t
+	c.MapDurations = append([]float64(nil), t.MapDurations...)
+	c.FirstShuffle = append([]float64(nil), t.FirstShuffle...)
+	c.TypicalShuffle = append([]float64(nil), t.TypicalShuffle...)
+	c.ReduceDurations = append([]float64(nil), t.ReduceDurations...)
+	if t.Counters != nil {
+		c.Counters = make(map[string]float64, len(t.Counters))
+		for k, v := range t.Counters {
+			c.Counters[k] = v
+		}
+	}
+	return &c
+}
+
+// Job is one entry of a replayable trace: a template plus the job's
+// arrival time and (optionally) a completion-time deadline for the
+// deadline-driven schedulers.
+type Job struct {
+	// ID is unique within a trace; assigned by Trace.Normalize.
+	ID int `json:"id"`
+	// Name is a human-readable label (defaults to AppName).
+	Name string `json:"name,omitempty"`
+	// Arrival is the submission time in seconds since trace start.
+	Arrival float64 `json:"arrival"`
+	// Deadline is the absolute completion deadline in seconds since
+	// trace start; 0 means "no deadline".
+	Deadline float64 `json:"deadline,omitempty"`
+	// Template carries the per-task durations to replay.
+	Template *Template `json:"template"`
+}
+
+// HasDeadline reports whether the job carries a deadline.
+func (j *Job) HasDeadline() bool { return j.Deadline > 0 }
+
+// RelativeDeadline returns the deadline relative to arrival, or +Inf if
+// the job has none.
+func (j *Job) RelativeDeadline() float64 {
+	if !j.HasDeadline() {
+		return math.Inf(1)
+	}
+	return j.Deadline - j.Arrival
+}
+
+// Trace is a replayable MapReduce workload: an ordered set of jobs.
+type Trace struct {
+	// Name labels the trace in the trace database.
+	Name string `json:"name,omitempty"`
+	Jobs []*Job `json:"jobs"`
+}
+
+// ErrEmptyTrace is returned when validating a trace with no jobs.
+var ErrEmptyTrace = errors.New("trace: no jobs")
+
+// Validate checks every job and the trace-level invariants.
+func (tr *Trace) Validate() error {
+	if len(tr.Jobs) == 0 {
+		return ErrEmptyTrace
+	}
+	seen := make(map[int]bool, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		if j == nil || j.Template == nil {
+			return fmt.Errorf("trace %q: job %d is nil or has no template", tr.Name, i)
+		}
+		if j.Arrival < 0 || math.IsNaN(j.Arrival) {
+			return fmt.Errorf("trace %q: job %d: invalid arrival %v", tr.Name, i, j.Arrival)
+		}
+		if j.Deadline < 0 || (j.Deadline > 0 && j.Deadline < j.Arrival) {
+			return fmt.Errorf("trace %q: job %d: deadline %v before arrival %v", tr.Name, i, j.Deadline, j.Arrival)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("trace %q: duplicate job ID %d", tr.Name, j.ID)
+		}
+		seen[j.ID] = true
+		if err := j.Template.Validate(); err != nil {
+			return fmt.Errorf("trace %q: job %d: %w", tr.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Normalize sorts jobs by arrival time (stable) and reassigns contiguous
+// IDs in arrival order. Call before replaying a hand-assembled trace.
+func (tr *Trace) Normalize() {
+	// insertion sort keeps it stable and dependency-free
+	for i := 1; i < len(tr.Jobs); i++ {
+		for j := i; j > 0 && tr.Jobs[j-1].Arrival > tr.Jobs[j].Arrival; j-- {
+			tr.Jobs[j-1], tr.Jobs[j] = tr.Jobs[j], tr.Jobs[j-1]
+		}
+	}
+	for i, j := range tr.Jobs {
+		j.ID = i
+		if j.Name == "" && j.Template != nil {
+			j.Name = j.Template.AppName
+		}
+	}
+}
+
+// TotalTasks returns the total number of map and reduce tasks across the
+// trace — a proxy for simulation workload size.
+func (tr *Trace) TotalTasks() (maps, reduces int) {
+	for _, j := range tr.Jobs {
+		maps += j.Template.NumMaps
+		reduces += j.Template.NumReduces
+	}
+	return maps, reduces
+}
+
+// SerialRuntime returns the total task-seconds in the trace: how long
+// the workload would take executed serially on one slot of each kind
+// (the paper quotes "about a week (152 hours)" for its 1148-job trace).
+func (tr *Trace) SerialRuntime() float64 {
+	var total float64
+	for _, j := range tr.Jobs {
+		if j == nil || j.Template == nil {
+			continue
+		}
+		for _, d := range j.Template.MapDurations {
+			total += d
+		}
+		for _, d := range j.Template.ReduceDurations {
+			total += d
+		}
+		for _, d := range j.Template.TypicalShuffle {
+			total += d
+		}
+	}
+	return total
+}
+
+// Clone deep-copies the trace so a simulation run can mutate arrival
+// times or deadlines without affecting the stored version.
+func (tr *Trace) Clone() *Trace {
+	c := &Trace{Name: tr.Name, Jobs: make([]*Job, len(tr.Jobs))}
+	for i, j := range tr.Jobs {
+		cj := *j
+		cj.Template = j.Template.Clone()
+		c.Jobs[i] = &cj
+	}
+	return c
+}

@@ -1,0 +1,67 @@
+package trace
+
+import "fmt"
+
+// StripIdle compresses inactivity out of a trace: any gap between
+// consecutive arrivals longer than maxGap is shortened to maxGap. This
+// is the preprocessing step of §IV-E — the paper replays its six months
+// of production history as "a single trace file (without inactivity
+// periods)" — and is generally useful for stress-replaying sparse
+// production logs.
+//
+// The trace is modified in place (call Clone first to keep the
+// original); jobs must already be sorted by arrival (Normalize).
+// Deadlines shift with their jobs so relative slack is preserved.
+func StripIdle(tr *Trace, maxGap float64) error {
+	if maxGap < 0 {
+		return fmt.Errorf("trace: StripIdle: negative maxGap %v", maxGap)
+	}
+	shift := 0.0
+	prev := 0.0
+	for i, j := range tr.Jobs {
+		if j.Arrival < prev {
+			return fmt.Errorf("trace: StripIdle: jobs not sorted at index %d (call Normalize first)", i)
+		}
+		gap := j.Arrival - prev
+		prev = j.Arrival
+		if gap > maxGap {
+			shift += gap - maxGap
+		}
+		j.Arrival -= shift
+		if j.Deadline > 0 {
+			j.Deadline -= shift
+		}
+	}
+	return nil
+}
+
+// CompressArrivals scales every inter-arrival gap by factor (0 < factor
+// <= 1 compresses, > 1 stretches), keeping the first arrival fixed. Used
+// for what-if replay at higher or lower load without changing the job
+// mix. Deadlines move with their jobs.
+func CompressArrivals(tr *Trace, factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("trace: CompressArrivals: factor %v, need > 0", factor)
+	}
+	if len(tr.Jobs) == 0 {
+		return nil
+	}
+	base := tr.Jobs[0].Arrival
+	prevOrig := base
+	prevNew := base
+	for i, j := range tr.Jobs {
+		if j.Arrival < prevOrig {
+			return fmt.Errorf("trace: CompressArrivals: jobs not sorted at index %d", i)
+		}
+		gap := j.Arrival - prevOrig
+		prevOrig = j.Arrival
+		newArrival := prevNew + gap*factor
+		rel := j.Deadline - j.Arrival
+		j.Arrival = newArrival
+		if j.Deadline > 0 {
+			j.Deadline = newArrival + rel
+		}
+		prevNew = newArrival
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func transformTrace(arrivals ...float64) *Trace {
+	tr := &Trace{}
+	for _, a := range arrivals {
+		tr.Jobs = append(tr.Jobs, &Job{Arrival: a, Template: validTemplate()})
+	}
+	tr.Normalize()
+	return tr
+}
+
+func TestStripIdleCompressesGaps(t *testing.T) {
+	tr := transformTrace(0, 10, 5000, 5030)
+	if err := StripIdle(tr, 60); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 10, 70, 100}
+	for i, j := range tr.Jobs {
+		if math.Abs(j.Arrival-want[i]) > 1e-9 {
+			t.Fatalf("job %d arrival %v, want %v", i, j.Arrival, want[i])
+		}
+	}
+}
+
+func TestStripIdlePreservesDeadlineSlack(t *testing.T) {
+	tr := transformTrace(0, 10000)
+	tr.Jobs[1].Deadline = 10500 // 500 s of slack
+	if err := StripIdle(tr, 100); err != nil {
+		t.Fatal(err)
+	}
+	j := tr.Jobs[1]
+	if j.Arrival != 100 {
+		t.Fatalf("arrival = %v", j.Arrival)
+	}
+	if j.Deadline-j.Arrival != 500 {
+		t.Fatalf("slack changed: %v", j.Deadline-j.Arrival)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripIdleShortGapsUntouched(t *testing.T) {
+	tr := transformTrace(0, 5, 12)
+	if err := StripIdle(tr, 60); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 12}
+	for i, j := range tr.Jobs {
+		if j.Arrival != want[i] {
+			t.Fatalf("job %d moved: %v", i, j.Arrival)
+		}
+	}
+}
+
+func TestStripIdleErrors(t *testing.T) {
+	tr := transformTrace(0, 10)
+	if err := StripIdle(tr, -1); err == nil {
+		t.Fatal("negative maxGap should fail")
+	}
+	unsorted := &Trace{Jobs: []*Job{
+		{Arrival: 10, Template: validTemplate()},
+		{Arrival: 0, Template: validTemplate()},
+	}}
+	if err := StripIdle(unsorted, 5); err == nil {
+		t.Fatal("unsorted trace should fail")
+	}
+}
+
+func TestCompressArrivals(t *testing.T) {
+	tr := transformTrace(100, 200, 400)
+	tr.Jobs[2].Deadline = 460 // 60 s slack
+	if err := CompressArrivals(tr, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 150, 250}
+	for i, j := range tr.Jobs {
+		if math.Abs(j.Arrival-want[i]) > 1e-9 {
+			t.Fatalf("job %d arrival %v, want %v", i, j.Arrival, want[i])
+		}
+	}
+	if slack := tr.Jobs[2].Deadline - tr.Jobs[2].Arrival; math.Abs(slack-60) > 1e-9 {
+		t.Fatalf("slack = %v", slack)
+	}
+}
+
+func TestCompressArrivalsStretch(t *testing.T) {
+	tr := transformTrace(0, 10)
+	if err := CompressArrivals(tr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[1].Arrival != 30 {
+		t.Fatalf("stretched arrival = %v", tr.Jobs[1].Arrival)
+	}
+}
+
+func TestCompressArrivalsErrors(t *testing.T) {
+	tr := transformTrace(0, 10)
+	if err := CompressArrivals(tr, 0); err == nil {
+		t.Fatal("zero factor should fail")
+	}
+	if err := CompressArrivals(&Trace{}, 0.5); err != nil {
+		t.Fatal("empty trace should be a no-op")
+	}
+}

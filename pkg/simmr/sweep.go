@@ -1,0 +1,93 @@
+package simmr
+
+import (
+	"fmt"
+
+	"simmr/internal/engine"
+	"simmr/internal/sched"
+)
+
+// SweepPoint is one cell of a capacity-planning sweep: the replay
+// outcome of the workload on a cluster with the given slot counts.
+type SweepPoint struct {
+	MapSlots, ReduceSlots int
+	Makespan              float64
+	MeanCompletion        float64
+	MaxCompletion         float64
+	DeadlinesMissed       int
+}
+
+// SweepConfig parameterizes CapacitySweep.
+type SweepConfig struct {
+	// MapSlotCounts and ReduceSlotCounts are the grid axes. If
+	// ReduceSlotCounts is nil, reduce slots track map slots (a square
+	// sweep, the common what-if).
+	MapSlotCounts    []int
+	ReduceSlotCounts []int
+	// Policy defaults to FIFO.
+	Policy Policy
+	// MinMapPercentCompleted defaults to 0.05.
+	MinMapPercentCompleted float64
+}
+
+// CapacitySweep replays a workload across a grid of cluster sizes — the
+// §I provisioning question ("one has to evaluate whether additional
+// resources are required") answered in simulation. The trace is cloned
+// per cell; results come back in grid order (map-slot major).
+func CapacitySweep(tr *Trace, cfg SweepConfig) ([]SweepPoint, error) {
+	if len(cfg.MapSlotCounts) == 0 {
+		return nil, fmt.Errorf("simmr: sweep needs at least one map-slot count")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = sched.FIFO{}
+	}
+	slowstart := cfg.MinMapPercentCompleted
+	if slowstart == 0 {
+		slowstart = 0.05
+	}
+	reduceCounts := cfg.ReduceSlotCounts
+	var out []SweepPoint
+	for _, m := range cfg.MapSlotCounts {
+		rcs := reduceCounts
+		if rcs == nil {
+			rcs = []int{m}
+		}
+		for _, r := range rcs {
+			res, err := engine.Run(engine.Config{
+				MapSlots:               m,
+				ReduceSlots:            r,
+				MinMapPercentCompleted: slowstart,
+			}, tr.Clone(), policy)
+			if err != nil {
+				return nil, fmt.Errorf("simmr: sweep at %d+%d slots: %w", m, r, err)
+			}
+			p := SweepPoint{MapSlots: m, ReduceSlots: r, Makespan: res.Makespan}
+			for _, j := range res.Jobs {
+				c := j.CompletionTime()
+				p.MeanCompletion += c
+				if c > p.MaxCompletion {
+					p.MaxCompletion = c
+				}
+				if j.ExceededDeadline() {
+					p.DeadlinesMissed++
+				}
+			}
+			p.MeanCompletion /= float64(len(res.Jobs))
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// SmallestClusterMeeting returns the first sweep point (in grid order,
+// i.e. smallest map-slot count first) whose makespan is at or under the
+// goal, or nil.
+func SmallestClusterMeeting(points []SweepPoint, makespanGoal float64) *SweepPoint {
+	for i := range points {
+		if points[i].Makespan <= makespanGoal {
+			return &points[i]
+		}
+	}
+	return nil
+}

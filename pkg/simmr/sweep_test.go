@@ -1,0 +1,92 @@
+package simmr
+
+import "testing"
+
+func sweepTrace() *Trace {
+	tpl := &Template{
+		AppName: "s", NumMaps: 32, NumReduces: 4,
+		MapDurations:    constSlice(32, 10),
+		FirstShuffle:    constSlice(4, 2),
+		TypicalShuffle:  constSlice(4, 4),
+		ReduceDurations: constSlice(4, 2),
+	}
+	tr := &Trace{Jobs: []*Job{
+		// Deadline met comfortably at >= 2 slots but blown at 1 slot
+		// (32 x 10 s of map work alone exceeds it serially).
+		{Arrival: 0, Deadline: 300, Template: tpl},
+		{Arrival: 10, Template: tpl.Clone()},
+	}}
+	tr.Normalize()
+	return tr
+}
+
+func TestCapacitySweepMonotone(t *testing.T) {
+	pts, err := CapacitySweep(sweepTrace(), SweepConfig{
+		MapSlotCounts: []int{2, 4, 8, 16, 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Makespan > pts[i-1].Makespan+1e-9 {
+			t.Fatalf("makespan not monotone: %v", pts)
+		}
+	}
+	// Square sweep: reduce slots track map slots.
+	if pts[0].ReduceSlots != 2 || pts[4].ReduceSlots != 32 {
+		t.Fatalf("square sweep broken: %+v", pts)
+	}
+}
+
+func TestCapacitySweepExplicitGrid(t *testing.T) {
+	pts, err := CapacitySweep(sweepTrace(), SweepConfig{
+		MapSlotCounts:    []int{4, 8},
+		ReduceSlotCounts: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("grid points = %d", len(pts))
+	}
+	if pts[1].MapSlots != 4 || pts[1].ReduceSlots != 4 {
+		t.Fatalf("grid order wrong: %+v", pts[1])
+	}
+}
+
+func TestCapacitySweepDeadlineCounting(t *testing.T) {
+	pts, err := CapacitySweep(sweepTrace(), SweepConfig{MapSlotCounts: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slot: 64 maps x 10 s serialize; the 500 s deadline is blown.
+	if pts[0].DeadlinesMissed != 1 {
+		t.Fatalf("missed = %d, want 1", pts[0].DeadlinesMissed)
+	}
+}
+
+func TestSmallestClusterMeeting(t *testing.T) {
+	pts, err := CapacitySweep(sweepTrace(), SweepConfig{
+		MapSlotCounts: []int{2, 4, 8, 16, 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := pts[2].Makespan // achievable at 8 slots
+	best := SmallestClusterMeeting(pts, goal)
+	if best == nil || best.MapSlots != 8 {
+		t.Fatalf("best = %+v", best)
+	}
+	if SmallestClusterMeeting(pts, 1) != nil {
+		t.Fatal("impossible goal should return nil")
+	}
+}
+
+func TestCapacitySweepValidation(t *testing.T) {
+	if _, err := CapacitySweep(sweepTrace(), SweepConfig{}); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+}

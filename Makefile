@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static checks, a full build, and the
+# complete test suite under the race detector (the concurrency model's
+# determinism tests only mean something with -race on).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_engine.json: replay events/sec, allocs per
+# replay, and serial-vs-parallel capacity-sweep wall time.
+bench:
+	$(GO) run ./cmd/benchreport -o BENCH_engine.json
+
+clean:
+	rm -f BENCH_engine.json

@@ -8,11 +8,28 @@ import (
 	"math/rand"
 	"testing"
 
+	"simmr/internal/benchkit"
 	"simmr/internal/experiments"
 	"simmr/internal/sched"
 	"simmr/internal/synth"
 	"simmr/pkg/simmr"
 )
+
+// BenchmarkReplayAllocs measures steady-state allocations per replay of
+// a shared production trace (see the allocs/op column): the slab-backed
+// event queue recycles events through a free list, so allocations are
+// bounded by the peak live-event population, not the total event count.
+func BenchmarkReplayAllocs(b *testing.B) { benchkit.Replay(b) }
+
+// BenchmarkCapacitySweepSerial is the single-worker reference for the
+// 16-cell capacity sweep.
+func BenchmarkCapacitySweepSerial(b *testing.B) { benchkit.Sweep(b, 1) }
+
+// BenchmarkCapacitySweepParallel runs the same grid with one worker per
+// CPU; compare against the serial benchmark for the speedup (near-linear
+// on multicore hosts, since cells are independent and share one
+// read-only trace).
+func BenchmarkCapacitySweepParallel(b *testing.B) { benchkit.Sweep(b, 0) }
 
 // BenchmarkEngineEventThroughput measures raw simulator-engine speed in
 // events per second over a production-like workload. The paper claims
@@ -64,6 +81,7 @@ func BenchmarkMumakEventThroughput(b *testing.B) {
 // BenchmarkFigure1WaveProgress regenerates the Figure 1 task-progress
 // series (WordCount, 128x128 slots).
 func BenchmarkFigure1WaveProgress(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure1(int64(i + 1)); err != nil {
 			b.Fatal(err)
@@ -73,6 +91,7 @@ func BenchmarkFigure1WaveProgress(b *testing.B) {
 
 // BenchmarkFigure2WaveProgress regenerates Figure 2 (64x64 slots).
 func BenchmarkFigure2WaveProgress(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure2(int64(i + 1)); err != nil {
 			b.Fatal(err)
@@ -83,6 +102,7 @@ func BenchmarkFigure2WaveProgress(b *testing.B) {
 // BenchmarkFigure3DurationCDFs regenerates the Figure 3 phase-duration
 // CDF comparison across allocations.
 func BenchmarkFigure3DurationCDFs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3(int64(i + 1)); err != nil {
 			b.Fatal(err)
@@ -93,6 +113,7 @@ func BenchmarkFigure3DurationCDFs(b *testing.B) {
 // BenchmarkTableIKLDivergence regenerates Table I at 2 executions per
 // application (5 at paper scale).
 func BenchmarkTableIKLDivergence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.TableI(2, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -103,6 +124,7 @@ func BenchmarkTableIKLDivergence(b *testing.B) {
 // BenchmarkFigure5aAccuracyFIFO regenerates the Figure 5(a) accuracy
 // panel (testbed run + profile + SimMR and Mumak replays, all six apps).
 func BenchmarkFigure5aAccuracyFIFO(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure5FIFO(1, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -112,6 +134,7 @@ func BenchmarkFigure5aAccuracyFIFO(b *testing.B) {
 
 // BenchmarkFigure5bAccuracyMinEDF regenerates Figure 5(b).
 func BenchmarkFigure5bAccuracyMinEDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure5MinEDF(1, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -121,6 +144,7 @@ func BenchmarkFigure5bAccuracyMinEDF(b *testing.B) {
 
 // BenchmarkFigure5cAccuracyMaxEDF regenerates Figure 5(c).
 func BenchmarkFigure5cAccuracyMaxEDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure5MaxEDF(1, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -131,6 +155,7 @@ func BenchmarkFigure5cAccuracyMaxEDF(b *testing.B) {
 // BenchmarkFigure6SimulatorSpeed regenerates the Figure 6 speed
 // comparison at a 60-job scale (1148 at paper scale).
 func BenchmarkFigure6SimulatorSpeed(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure6(60, []int{20, 60}, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -146,6 +171,7 @@ func BenchmarkFigure7DeadlineSweepReal(b *testing.B) {
 	cfg.InterArrivalMeans = []float64{10, 1000}
 	cfg.DeadlineFactors = []float64{1.5, 3}
 	cfg.Repetitions = 2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -163,6 +189,7 @@ func BenchmarkFigure8DeadlineSweepFacebook(b *testing.B) {
 	cfg.DeadlineFactors = []float64{1.5, 2}
 	cfg.Repetitions = 2
 	cfg.JobsPerRun = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -175,6 +202,7 @@ func BenchmarkFigure8DeadlineSweepFacebook(b *testing.B) {
 // BenchmarkFacebookDistributionFit regenerates the §V-C fitting step
 // (LogNormal wins by KS among the candidate families).
 func BenchmarkFacebookDistributionFit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.FacebookFit("map", 5000, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -209,6 +237,7 @@ func BenchmarkSchedulerDecision(b *testing.B) {
 		}
 	}
 	policies := []sched.Policy{sched.FIFO{}, sched.MaxEDF{}, sched.MinEDF{}, sched.Fair{}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := policies[i%len(policies)]

@@ -1,0 +1,38 @@
+// Command benchreport runs the engine microbenchmarks (replay
+// throughput, replay allocations, serial and parallel capacity sweeps)
+// and writes the condensed metrics to BENCH_engine.json. `make bench`
+// is the usual entry point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"simmr/internal/benchkit"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output path for the metrics JSON")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "benchreport: running engine benchmarks (replay, serial sweep, parallel sweep)...")
+	m := benchkit.Collect()
+	m.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sweep %.3fs serial / %.3fs parallel (%.2fx on %d cores)\n",
+		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
+		m.SweepSerialSeconds, m.SweepParallelSeconds, m.SweepSpeedup, m.GoMaxProcs)
+}

@@ -54,7 +54,7 @@ func main() {
 
 	fmt.Println("\npolicy  jobs-late  sum((T-D)/D)")
 	for _, policy := range []simmr.Policy{simmr.NewMaxEDF(), simmr.NewMinEDF()} {
-		res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr.Clone(), policy)
+		res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr, policy) // replay never mutates the trace
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -76,7 +76,7 @@ func main() {
 		capacity,
 		simmr.NewDynamicPriority(budgets, bids),
 	} {
-		res, err := simmr.Replay(cfg, base.Clone(), p)
+		res, err := simmr.Replay(cfg, base, p) // replay never mutates the trace
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,111 @@
+// Package benchkit holds the engine microbenchmark bodies shared by the
+// top-level bench harness (bench_test.go) and cmd/benchreport. Keeping
+// one body per benchmark guarantees that the numbers in
+// BENCH_engine.json are produced by exactly the code that `go test
+// -bench` runs interactively.
+package benchkit
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"simmr/internal/synth"
+	"simmr/pkg/simmr"
+)
+
+// replayJobs sizes the replay-throughput fixture; sweepJobs the capacity
+// sweep one (smaller, because a sweep replays it once per grid cell).
+const (
+	replayJobs = 200
+	sweepJobs  = 40
+)
+
+// sweepSlotCounts is the square capacity-sweep grid. Sixteen cells keep
+// the worker pool load-balanced well past typical core counts, so the
+// parallel/serial wall-time ratio approaches GOMAXPROCS on multicore
+// hosts.
+var sweepSlotCounts = []int{4, 8, 12, 16, 24, 32, 40, 48, 64, 80, 96, 112, 128, 160, 192, 256}
+
+// fixture builds the deterministic production-style trace the
+// benchmarks replay. The trace is read-only to the engine, so one
+// instance is shared across all iterations and all sweep cells.
+func fixture(jobs int) *simmr.Trace {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := synth.ProductionTrace(jobs, rng)
+	if err != nil {
+		panic(err) // statically valid generator parameters
+	}
+	return tr
+}
+
+// Replay measures whole-trace replay on a shared trace: events/sec
+// throughput and — via ReportAllocs — the steady-state allocations per
+// replay, which the slab-recycled event queue keeps bounded by the peak
+// live-event population rather than the total event count.
+func Replay(b *testing.B) {
+	tr := fixture(replayJobs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// Sweep measures a 16-cell square capacity sweep with the given worker
+// count (1 = serial reference, 0 = one worker per CPU). Cells share one
+// trace; results are byte-identical across worker counts.
+func Sweep(b *testing.B, workers int) {
+	tr := fixture(sweepJobs)
+	cfg := simmr.SweepConfig{MapSlotCounts: sweepSlotCounts, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simmr.CapacitySweep(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Metrics summarizes one Collect run; cmd/benchreport serializes it as
+// BENCH_engine.json.
+type Metrics struct {
+	GoMaxProcs           int     `json:"gomaxprocs"`
+	EventsPerSec         float64 `json:"events_per_sec"`
+	ReplayAllocsPerOp    int64   `json:"replay_allocs_per_op"`
+	ReplayBytesPerOp     int64   `json:"replay_bytes_per_op"`
+	SweepSerialSeconds   float64 `json:"sweep_serial_seconds"`
+	SweepParallelSeconds float64 `json:"sweep_parallel_seconds"`
+	// SweepSpeedup is serial / parallel wall time for the same grid; it
+	// approaches GoMaxProcs on unloaded multicore hosts and is ~1.0 on a
+	// single core.
+	SweepSpeedup float64 `json:"sweep_speedup"`
+	GeneratedAt  string  `json:"generated_at,omitempty"`
+}
+
+// Collect runs the three engine benchmarks through testing.Benchmark
+// and condenses their results.
+func Collect() Metrics {
+	m := Metrics{GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	rep := testing.Benchmark(Replay)
+	m.EventsPerSec = rep.Extra["events/sec"]
+	m.ReplayAllocsPerOp = rep.AllocsPerOp()
+	m.ReplayBytesPerOp = rep.AllocedBytesPerOp()
+
+	serial := testing.Benchmark(func(b *testing.B) { Sweep(b, 1) })
+	par := testing.Benchmark(func(b *testing.B) { Sweep(b, 0) })
+	m.SweepSerialSeconds = serial.T.Seconds() / float64(serial.N)
+	m.SweepParallelSeconds = par.T.Seconds() / float64(par.N)
+	if m.SweepParallelSeconds > 0 {
+		m.SweepSpeedup = m.SweepSerialSeconds / m.SweepParallelSeconds
+	}
+	return m
+}

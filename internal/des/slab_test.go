@@ -1,0 +1,106 @@
+package des
+
+import "testing"
+
+// TestFreeRecyclesEvents verifies the slab/free-list contract: a
+// push/pop/free cycle reuses Event storage instead of allocating.
+func TestFreeRecyclesEvents(t *testing.T) {
+	var q EventQueue
+	e1 := q.Push(1, 0, 0, nil)
+	if q.Pop() != e1 {
+		t.Fatal("pop mismatch")
+	}
+	q.Free(e1)
+	e2 := q.PushTask(2, 1, 2, 3)
+	if e2 != e1 {
+		t.Fatal("freed event was not recycled")
+	}
+	if e2.Time != 2 || e2.Type != 1 || e2.JobID != 2 || e2.Task != 3 || e2.Payload != nil {
+		t.Fatalf("recycled event retained stale state: %+v", e2)
+	}
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	var q EventQueue
+	// Warm the slab and free list.
+	for i := 0; i < 2*slabChunk; i++ {
+		q.Push(float64(i), 0, i, nil)
+	}
+	for q.Len() > 0 {
+		q.Free(q.Pop())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < slabChunk; i++ {
+			q.PushTask(float64(i), 0, i, i)
+		}
+		for q.Len() > 0 {
+			q.Free(q.Pop())
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state churn allocates: %.1f allocs/run", allocs)
+	}
+}
+
+func TestFreeScheduledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free on a scheduled event did not panic")
+		}
+	}()
+	var q EventQueue
+	q.Free(q.Push(1, 0, 0, nil))
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	var q EventQueue
+	e := q.Push(1, 0, 0, nil)
+	q.Pop()
+	q.Free(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Free did not panic")
+		}
+	}()
+	q.Free(e)
+}
+
+// TestRemovedEventCanBeFreed covers the preemption path: events canceled
+// with Remove go back to the free list too.
+func TestRemovedEventCanBeFreed(t *testing.T) {
+	var q EventQueue
+	e := q.Push(5, 0, 0, nil)
+	q.Push(1, 0, 1, nil)
+	q.Remove(e)
+	q.Free(e)
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if got := q.PushTask(3, 0, 2, 9); got != e {
+		t.Fatal("removed+freed event was not recycled")
+	}
+}
+
+// TestOrderingUnaffectedByRecycling replays interleaved push/pop/free
+// traffic and checks (time, FIFO) ordering still holds.
+func TestOrderingUnaffectedByRecycling(t *testing.T) {
+	var q EventQueue
+	times := []Time{3, 1, 2, 1, 5, 0, 2}
+	for i, tm := range times {
+		q.PushTask(tm, 0, i, i)
+	}
+	var prev *Event
+	for q.Len() > 0 {
+		e := q.Pop()
+		if prev != nil && (e.Time < prev.Time || (e.Time == prev.Time && e.Task < prev.Task)) {
+			t.Fatalf("order violated: %v after %v", e, prev)
+		}
+		cp := *e
+		q.Free(e)
+		prev = &cp
+		// Interleave fresh pushes drawing from the free list.
+		if cp.Task == 1 {
+			q.PushTask(4, 0, 99, 99)
+		}
+	}
+}

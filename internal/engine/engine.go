@@ -146,9 +146,13 @@ type fillerReduce struct {
 	spanIdx      int
 }
 
+// simJob is the engine-local mutable replay state of one job. All of it
+// lives here (never on trace.Job), which is what lets a single immutable
+// trace be shared read-only across any number of concurrent engines —
+// see DESIGN.md "Concurrency model".
 type simJob struct {
-	info *sched.JobInfo
-	tpl  *trace.Template
+	info sched.JobInfo   // scheduler-visible state, engine-owned
+	tpl  *trace.Template // read-only view into the shared trace
 	out  JobOutcome
 
 	nextMap      int
@@ -161,7 +165,7 @@ type simJob struct {
 	// before fresh indices are drawn.
 	retryMaps []int
 	// runningMaps tracks in-flight map departures by task index, so
-	// preemption can cancel them.
+	// preemption can cancel them. Allocated only under PreemptMapTasks.
 	runningMaps map[int]*des.Event
 
 	fillers       []fillerReduce
@@ -170,6 +174,10 @@ type simJob struct {
 }
 
 // Engine replays one trace. Build with New, call Run once.
+//
+// The engine never mutates the trace or its templates: every piece of
+// mutable per-job replay state lives in engine-local simJob slots, so
+// concurrent engines may share one trace without cloning or locking.
 type Engine struct {
 	cfg    Config
 	policy sched.Policy
@@ -177,8 +185,10 @@ type Engine struct {
 	clock des.Clock
 	q     des.EventQueue
 
-	jobs    []*simJob
-	indexOf map[int]int // job ID -> index in jobs
+	// jobs is a single contiguous slab; pointers into it (sj.info) stay
+	// valid because it is fully sized in New and never reallocated.
+	jobs    []simJob
+	indexOf map[int]int // job ID -> index in jobs; nil when IDs are dense
 	active  []*sched.JobInfo
 
 	freeMap    int
@@ -187,7 +197,8 @@ type Engine struct {
 }
 
 // New builds an engine for the trace and policy. The trace is validated
-// and left unmodified.
+// and never modified — neither here nor during Run — so callers may
+// share one trace across concurrent engines.
 func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -201,12 +212,25 @@ func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 	e := &Engine{
 		cfg:        cfg,
 		policy:     policy,
-		indexOf:    make(map[int]int, len(tr.Jobs)),
+		jobs:       make([]simJob, len(tr.Jobs)),
+		active:     make([]*sched.JobInfo, 0, len(tr.Jobs)),
 		freeMap:    cfg.MapSlots,
 		freeReduce: cfg.ReduceSlots,
 		remaining:  len(tr.Jobs),
 	}
-	for _, j := range tr.Jobs {
+	// Normalized traces carry dense IDs 0..n-1; dispatch on a slice
+	// index then, avoiding the map (and its per-run allocation).
+	dense := true
+	for i, j := range tr.Jobs {
+		if j.ID != i {
+			dense = false
+			break
+		}
+	}
+	if !dense {
+		e.indexOf = make(map[int]int, len(tr.Jobs))
+	}
+	for i, j := range tr.Jobs {
 		if j.Template.NumReduces > 0 && cfg.ReduceSlots == 0 {
 			return nil, fmt.Errorf("engine: job %d needs reduce slots but cluster has none", j.ID)
 		}
@@ -214,34 +238,45 @@ func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 		if slowstart < 1 {
 			slowstart = 1
 		}
-		sj := &simJob{
-			info: &sched.JobInfo{
-				ID: j.ID, Name: j.Name,
-				Arrival: j.Arrival, Deadline: j.Deadline,
-				NumMaps: j.Template.NumMaps, NumReduces: j.Template.NumReduces,
-				Profile: j.Template.Profile(),
-			},
-			tpl: j.Template,
-			out: JobOutcome{
-				ID: j.ID, Name: j.Name,
-				Arrival: j.Arrival, Deadline: j.Deadline,
-			},
-			slowstartMin: slowstart,
-			runningMaps:  make(map[int]*des.Event),
+		sj := &e.jobs[i]
+		sj.info = sched.JobInfo{
+			ID: j.ID, Name: j.Name,
+			Arrival: j.Arrival, Deadline: j.Deadline,
+			NumMaps: j.Template.NumMaps, NumReduces: j.Template.NumReduces,
+			Profile: j.Template.Profile(),
+		}
+		sj.tpl = j.Template
+		sj.out = JobOutcome{
+			ID: j.ID, Name: j.Name,
+			Arrival: j.Arrival, Deadline: j.Deadline,
+		}
+		sj.slowstartMin = slowstart
+		if cfg.PreemptMapTasks {
+			sj.runningMaps = make(map[int]*des.Event)
 		}
 		if cfg.RecordSpans {
 			sj.out.MapSpans = make([]Span, j.Template.NumMaps)
 			sj.out.ReduceSpans = make([]Span, j.Template.NumReduces)
 		}
-		e.indexOf[j.ID] = len(e.jobs)
-		e.jobs = append(e.jobs, sj)
+		if e.indexOf != nil {
+			e.indexOf[j.ID] = i
+		}
 	}
 	return e, nil
 }
 
+// jobByID resolves an event's job ID to its engine-local state.
+func (e *Engine) jobByID(id int) *simJob {
+	if e.indexOf == nil {
+		return &e.jobs[id]
+	}
+	return &e.jobs[e.indexOf[id]]
+}
+
 // Run replays the trace to completion.
 func (e *Engine) Run() (*Result, error) {
-	for _, sj := range e.jobs {
+	for i := range e.jobs {
+		sj := &e.jobs[i]
 		e.q.Push(sj.info.Arrival, evJobArrival, sj.info.ID, nil)
 	}
 	for e.remaining > 0 {
@@ -253,19 +288,23 @@ func (e *Engine) Run() (*Result, error) {
 		if err := e.handle(ev); err != nil {
 			return nil, err
 		}
+		e.q.Free(ev)
 		// Drain every event scheduled for this same instant before making
 		// allocation decisions, so simultaneous arrivals and departures
 		// are all visible to the policy (otherwise the first of two
 		// same-time arrivals would grab every slot unconditionally).
 		for e.q.Len() > 0 && e.q.Peek().Time == e.clock.Now() {
-			if err := e.handle(e.q.Pop()); err != nil {
+			ev := e.q.Pop()
+			if err := e.handle(ev); err != nil {
 				return nil, err
 			}
+			e.q.Free(ev)
 		}
 		e.allocate()
 	}
-	res := &Result{Events: e.q.Fired()}
-	for _, sj := range e.jobs {
+	res := &Result{Events: e.q.Fired(), Jobs: make([]JobOutcome, 0, len(e.jobs))}
+	for i := range e.jobs {
+		sj := &e.jobs[i]
 		res.Jobs = append(res.Jobs, sj.out)
 		if sj.out.Finish > res.Makespan {
 			res.Makespan = sj.out.Finish
@@ -274,22 +313,23 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
-// handle dispatches one event to its handler.
+// handle dispatches one event to its handler. Handlers must not retain
+// ev: Run recycles it into the queue's free list immediately after.
 func (e *Engine) handle(ev *des.Event) error {
-	sj := e.jobs[e.indexOf[ev.JobID]]
+	sj := e.jobByID(ev.JobID)
 	switch ev.Type {
 	case evJobArrival:
 		e.onJobArrival(sj)
 	case evMapTaskArrival:
 		e.onMapTaskArrival(sj)
 	case evMapTaskDeparture:
-		e.onMapTaskDeparture(sj, ev.Payload.(int))
+		e.onMapTaskDeparture(sj, ev.Task)
 	case evMapStageComplete:
 		e.onMapStageComplete(sj)
 	case evReduceTaskArrival:
 		e.onReduceTaskArrival(sj)
 	case evReduceTaskDeparture:
-		e.onReduceTaskDeparture(sj, ev.Payload.(int))
+		e.onReduceTaskDeparture(sj, ev.Task)
 	case evJobDeparture:
 		e.onJobDeparture(sj)
 	default:
@@ -326,9 +366,9 @@ func (e *Engine) allocate() {
 }
 
 func (e *Engine) onJobArrival(sj *simJob) {
-	e.active = append(e.active, sj.info)
+	e.active = append(e.active, &sj.info)
 	if aa, ok := e.policy.(sched.ArrivalAware); ok {
-		aa.OnJobArrival(sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
+		aa.OnJobArrival(&sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
 	}
 	if e.cfg.PreemptMapTasks {
 		e.preemptFor(sj)
@@ -365,6 +405,7 @@ func (e *Engine) preemptFor(sj *simJob) {
 			return
 		}
 		e.q.Remove(killEv)
+		e.q.Free(killEv)
 		delete(victim.runningMaps, killTask)
 		victim.retryMaps = append(victim.retryMaps, killTask)
 		victim.info.ScheduledMaps--
@@ -380,13 +421,13 @@ func (e *Engine) latestDeadlineVictim(than float64) *simJob {
 	for _, info := range e.active {
 		if info.Deadline <= 0 {
 			// No deadline sorts last under EDF: always preemptible.
-			if sj := e.jobs[e.indexOf[info.ID]]; len(sj.runningMaps) > 0 {
+			if sj := e.jobByID(info.ID); len(sj.runningMaps) > 0 {
 				return sj
 			}
 			continue
 		}
 		if info.Deadline > victimDeadline {
-			if sj := e.jobs[e.indexOf[info.ID]]; len(sj.runningMaps) > 0 {
+			if sj := e.jobByID(info.ID); len(sj.runningMaps) > 0 {
 				victim = sj
 				victimDeadline = info.Deadline
 			}
@@ -409,7 +450,7 @@ func (e *Engine) onMapTaskArrival(sj *simJob) {
 	if sj.out.MapSpans != nil {
 		sj.out.MapSpans[i] = Span{Start: now, End: now + dur}
 	}
-	ev := e.q.Push(now+dur, evMapTaskDeparture, sj.info.ID, i)
+	ev := e.q.PushTask(now+dur, evMapTaskDeparture, sj.info.ID, i)
 	if e.cfg.PreemptMapTasks {
 		sj.runningMaps[i] = ev
 	}
@@ -438,7 +479,6 @@ func (e *Engine) onMapStageComplete(sj *simJob) {
 	for _, f := range sj.fillers {
 		end := now + f.firstShuffle + f.reducePhase
 		e.q.Update(f.ev, end)
-		f.ev.Payload = f.spanIdx
 		if sj.out.ReduceSpans != nil {
 			sj.out.ReduceSpans[f.spanIdx].ShuffleEnd = now + f.firstShuffle
 			sj.out.ReduceSpans[f.spanIdx].End = end
@@ -468,7 +508,7 @@ func (e *Engine) onReduceTaskArrival(sj *simJob) {
 		if e.cfg.NoShuffleModel {
 			firstShuffle = 0 // Mumak ablation: reduce starts right at map end
 		}
-		ev := e.q.Push(des.Infinity, evReduceTaskDeparture, sj.info.ID, i)
+		ev := e.q.PushTask(des.Infinity, evReduceTaskDeparture, sj.info.ID, i)
 		sj.fillers = append(sj.fillers, fillerReduce{
 			ev:           ev,
 			firstShuffle: firstShuffle,
@@ -493,7 +533,7 @@ func (e *Engine) onReduceTaskArrival(sj *simJob) {
 	if sj.out.ReduceSpans != nil {
 		sj.out.ReduceSpans[i] = Span{Start: now, ShuffleEnd: now + shuffle, End: end}
 	}
-	e.q.Push(end, evReduceTaskDeparture, sj.info.ID, i)
+	e.q.PushTask(end, evReduceTaskDeparture, sj.info.ID, i)
 }
 
 func (e *Engine) onReduceTaskDeparture(sj *simJob, _ int) {
@@ -518,7 +558,7 @@ func (e *Engine) onJobDeparture(sj *simJob) {
 	sj.out.Finish = e.clock.Now()
 	e.remaining--
 	for i, info := range e.active {
-		if info == sj.info {
+		if info == &sj.info {
 			e.active = append(e.active[:i], e.active[i+1:]...)
 			break
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"simmr/internal/engine"
 	"simmr/internal/metrics"
 	"simmr/internal/mumak"
+	"simmr/internal/parallel"
 	"simmr/internal/sched"
 	"simmr/internal/synth"
 	"simmr/internal/trace"
@@ -43,45 +45,57 @@ type ShuffleAblationResult struct {
 }
 
 // AblationShuffleModel runs each application once on the testbed and
-// replays its trace under the three engine variants.
+// replays its trace under the three engine variants. The per-application
+// columns are independent (each seeds its own testbed run), so they run
+// concurrently on the worker pool; rows come back in application order.
 func AblationShuffleModel(seed int64) (*ShuffleAblationResult, error) {
-	out := &ShuffleAblationResult{}
-	var full, noFirst, none []float64
-	for _, app := range workload.Apps() {
-		cfg := TestbedConfig(seed)
-		res, err := runTestbedJob(cfg, cluster.Job{Spec: app.Spec(0)}, sched.FIFO{})
-		if err != nil {
-			return nil, err
-		}
-		actual := res.Jobs[0].CompletionTime()
-		tr := profilerFromResult(res)
-
-		row := ShuffleAblationRow{App: app.Name}
-		for i, mutate := range []func(*engine.Config){
-			func(*engine.Config) {},
-			func(c *engine.Config) { c.NoFirstShuffleSpecialCase = true },
-			func(c *engine.Config) { c.NoShuffleModel = true },
-		} {
-			ecfg := EngineConfig()
-			mutate(&ecfg)
-			rep, err := engine.Run(ecfg, tr, sched.FIFO{})
+	apps := workload.Apps()
+	rows, err := parallel.Map(context.Background(), 0, len(apps),
+		func(_ context.Context, ai int) (ShuffleAblationRow, error) {
+			app := apps[ai]
+			cfg := TestbedConfig(seed)
+			res, err := runTestbedJob(cfg, cluster.Job{Spec: app.Spec(0)}, sched.FIFO{})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: shuffle ablation: %w", err)
+				return ShuffleAblationRow{}, err
 			}
-			errPct := metrics.SignedErrorPct(rep.Jobs[0].CompletionTime(), actual)
-			switch i {
-			case 0:
-				row.FullErrPct = errPct
-				full = append(full, errPct)
-			case 1:
-				row.NoFirstShuffleErrPct = errPct
-				noFirst = append(noFirst, errPct)
-			case 2:
-				row.NoShuffleErrPct = errPct
-				none = append(none, errPct)
+			actual := res.Jobs[0].CompletionTime()
+			tr := profilerFromResult(res)
+
+			row := ShuffleAblationRow{App: app.Name}
+			for i, mutate := range []func(*engine.Config){
+				func(*engine.Config) {},
+				func(c *engine.Config) { c.NoFirstShuffleSpecialCase = true },
+				func(c *engine.Config) { c.NoShuffleModel = true },
+			} {
+				ecfg := EngineConfig()
+				mutate(&ecfg)
+				rep, err := engine.Run(ecfg, tr, sched.FIFO{})
+				if err != nil {
+					return ShuffleAblationRow{}, fmt.Errorf("experiments: shuffle ablation: %w", err)
+				}
+				errPct := metrics.SignedErrorPct(rep.Jobs[0].CompletionTime(), actual)
+				switch i {
+				case 0:
+					row.FullErrPct = errPct
+				case 1:
+					row.NoFirstShuffleErrPct = errPct
+				case 2:
+					row.NoShuffleErrPct = errPct
+				}
 			}
-		}
-		out.Rows = append(out.Rows, row)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &ShuffleAblationResult{Rows: rows}
+	full := make([]float64, 0, len(rows))
+	noFirst := make([]float64, 0, len(rows))
+	none := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		full = append(full, row.FullErrPct)
+		noFirst = append(noFirst, row.NoFirstShuffleErrPct)
+		none = append(none, row.NoShuffleErrPct)
 	}
 	out.FullSummary = metrics.SummarizeErrors(full)
 	out.NoFirstSummary = metrics.SummarizeErrors(noFirst)
@@ -131,43 +145,50 @@ func AblationMinEDFEstimator(repetitions int, seed int64) (*EstimatorAblationRes
 	}
 	shape := synth.FacebookShape()
 	engCfg := EngineConfig()
-	out := &EstimatorAblationResult{Repetitions: repetitions}
 
-	for _, est := range []sched.Estimator{sched.EstimatorLow, sched.EstimatorAvg, sched.EstimatorUp} {
-		policy := sched.MinEDF{Estimate: est}
-		rng := rand.New(rand.NewSource(seed))
-		var utilSum, missSum, complSum float64
-		var jobs int
-		for rep := 0; rep < repetitions; rep++ {
-			tr, baselines := facebookRun(shape, 20, 500, rng, engCfg)
-			assignDeadlines(tr, baselines, 1.5, rng)
-			tr.Normalize()
-			res, err := engine.Run(engCfg, tr, policy)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: estimator ablation: %w", err)
-			}
-			var obs []metrics.DeadlineObservation
-			for _, j := range res.Jobs {
-				obs = append(obs, metrics.DeadlineObservation{
-					RelCompletion: j.Finish - j.Arrival,
-					RelDeadline:   j.Deadline - j.Arrival,
-				})
-				if j.ExceededDeadline() {
-					missSum++
+	// One pool task per estimator: each re-seeds its own RNG with the
+	// same seed, so all three see identical workloads (the point of the
+	// ablation) while running concurrently.
+	ests := []sched.Estimator{sched.EstimatorLow, sched.EstimatorAvg, sched.EstimatorUp}
+	rows, err := parallel.Map(context.Background(), 0, len(ests),
+		func(_ context.Context, ei int) (EstimatorAblationRow, error) {
+			policy := sched.MinEDF{Estimate: ests[ei]}
+			rng := rand.New(rand.NewSource(seed))
+			var utilSum, missSum, complSum float64
+			var jobs int
+			for rep := 0; rep < repetitions; rep++ {
+				tr, baselines := facebookRun(shape, 20, 500, rng, engCfg)
+				assignDeadlines(tr, baselines, 1.5, rng)
+				tr.Normalize()
+				res, err := engine.Run(engCfg, tr, policy)
+				if err != nil {
+					return EstimatorAblationRow{}, fmt.Errorf("experiments: estimator ablation: %w", err)
 				}
-				complSum += j.Finish - j.Arrival
-				jobs++
+				obs := make([]metrics.DeadlineObservation, 0, len(res.Jobs))
+				for _, j := range res.Jobs {
+					obs = append(obs, metrics.DeadlineObservation{
+						RelCompletion: j.Finish - j.Arrival,
+						RelDeadline:   j.Deadline - j.Arrival,
+					})
+					if j.ExceededDeadline() {
+						missSum++
+					}
+					complSum += j.Finish - j.Arrival
+					jobs++
+				}
+				utilSum += metrics.RelativeDeadlineExceeded(obs)
 			}
-			utilSum += metrics.RelativeDeadlineExceeded(obs)
-		}
-		out.Rows = append(out.Rows, EstimatorAblationRow{
-			Estimator:      est.String(),
-			Utility:        utilSum / float64(repetitions),
-			MissFraction:   missSum / float64(jobs),
-			MeanCompletion: complSum / float64(jobs),
+			return EstimatorAblationRow{
+				Estimator:      ests[ei].String(),
+				Utility:        utilSum / float64(repetitions),
+				MissFraction:   missSum / float64(jobs),
+				MeanCompletion: complSum / float64(jobs),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &EstimatorAblationResult{Rows: rows, Repetitions: repetitions}, nil
 }
 
 // facebookRun draws one synthetic workload and its T_J baselines.
@@ -220,7 +241,9 @@ type HeartbeatAblationResult struct {
 }
 
 // AblationMumakHeartbeat replays one production workload through Mumak
-// at several heartbeat intervals.
+// at several heartbeat intervals. Deliberately serial: each row is a
+// wall-clock measurement, and concurrent rows would contend for cores
+// and corrupt the timings.
 func AblationMumakHeartbeat(jobs int, seed int64) (*HeartbeatAblationResult, error) {
 	if jobs < 1 {
 		return nil, fmt.Errorf("experiments: heartbeat ablation needs >= 1 job")

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"simmr/internal/engine"
 	"simmr/internal/metrics"
+	"simmr/internal/parallel"
 	"simmr/internal/sched"
 	"simmr/internal/synth"
 	"simmr/internal/trace"
@@ -159,6 +161,13 @@ func testbedJobPool(seed int64) ([]*trace.Template, []float64, error) {
 // baselines (aligned with tr.Jobs order before normalization).
 type traceGen func(rep int, rng *rand.Rand, meanInterArrival float64) (*trace.Trace, []float64)
 
+// deadlineSweep fans the (deadline factor, inter-arrival mean) grid
+// across the worker pool: every cell seeds its own RNG from the cell
+// coordinates (exactly as the serial loop did), so cells are mutually
+// independent and the parallel sweep reproduces the serial point values
+// bit-for-bit, in grid order. The generated traces share the profiled
+// job-pool templates read-only; each repetition's trace and deadlines
+// are cell-local.
 func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*DeadlineSweepResult, error) {
 	if cfg.Repetitions < 1 {
 		return nil, fmt.Errorf("experiments: %s: repetitions must be >= 1", name)
@@ -166,41 +175,49 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 	if len(cfg.InterArrivalMeans) == 0 || len(cfg.DeadlineFactors) == 0 {
 		return nil, fmt.Errorf("experiments: %s: empty sweep axes", name)
 	}
-	out := &DeadlineSweepResult{Name: name, Config: cfg}
-	engCfg := EngineConfig()
-
+	type cell struct{ df, meanIA float64 }
+	cells := make([]cell, 0, len(cfg.DeadlineFactors)*len(cfg.InterArrivalMeans))
 	for _, df := range cfg.DeadlineFactors {
 		if df < 1 {
 			return nil, fmt.Errorf("experiments: %s: deadline factor %v < 1", name, df)
 		}
 		for _, meanIA := range cfg.InterArrivalMeans {
+			cells = append(cells, cell{df, meanIA})
+		}
+	}
+	engCfg := EngineConfig()
+	points, err := parallel.Map(context.Background(), 0, len(cells),
+		func(_ context.Context, i int) (DeadlineSweepPoint, error) {
+			c := cells[i]
 			var sumMax, sumMin float64
-			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(df*1000) ^ int64(meanIA)))
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(c.df*1000) ^ int64(c.meanIA)))
 			for rep := 0; rep < cfg.Repetitions; rep++ {
-				tr, baselines := gen(rep, rng, meanIA)
-				assignDeadlines(tr, baselines, df, rng)
+				tr, baselines := gen(rep, rng, c.meanIA)
+				assignDeadlines(tr, baselines, c.df, rng)
 				tr.Normalize()
 
 				maxVal, err := runUtility(engCfg, tr, sched.MaxEDF{})
 				if err != nil {
-					return nil, fmt.Errorf("experiments: %s MaxEDF: %w", name, err)
+					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MaxEDF: %w", name, err)
 				}
 				minVal, err := runUtility(engCfg, tr, sched.MinEDF{})
 				if err != nil {
-					return nil, fmt.Errorf("experiments: %s MinEDF: %w", name, err)
+					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MinEDF: %w", name, err)
 				}
 				sumMax += maxVal
 				sumMin += minVal
 			}
-			out.Points = append(out.Points, DeadlineSweepPoint{
-				DeadlineFactor:   df,
-				InterArrivalMean: meanIA,
+			return DeadlineSweepPoint{
+				DeadlineFactor:   c.df,
+				InterArrivalMean: c.meanIA,
 				MaxEDF:           sumMax / float64(cfg.Repetitions),
 				MinEDF:           sumMin / float64(cfg.Repetitions),
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &DeadlineSweepResult{Name: name, Config: cfg, Points: points}, nil
 }
 
 // assignDeadlines draws each job's deadline uniformly in [T_J, df·T_J]
@@ -216,9 +233,10 @@ func assignDeadlines(tr *trace.Trace, baselines []float64, df float64, rng *rand
 }
 
 // runUtility replays the trace with the policy and evaluates the
-// relative-deadline-exceeded utility.
+// relative-deadline-exceeded utility. The engine treats the trace as
+// read-only, so back-to-back replays need no clone.
 func runUtility(cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
-	res, err := engine.Run(cfg, tr.Clone(), policy)
+	res, err := engine.Run(cfg, tr, policy)
 	if err != nil {
 		return 0, err
 	}

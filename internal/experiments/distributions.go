@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"simmr/internal/cluster"
+	"simmr/internal/parallel"
 	"simmr/internal/sched"
 	"simmr/internal/stats"
+	"simmr/internal/trace"
 	"simmr/internal/workload"
 )
 
@@ -26,35 +29,36 @@ type Figure3Result struct {
 	KSMap, KSShuffle, KSReduce float64
 }
 
-// Figure3 runs the experiment with the paper's two allocations.
+// Figure3 runs the experiment with the paper's two allocations. The two
+// testbed runs are independent (separate seeds, separate clusters), so
+// they execute concurrently on the worker pool.
 func Figure3(seed int64) (*Figure3Result, error) {
-	type sample struct{ maps, shuffles, reduces []float64 }
-	var samples [2]sample
 	allocs := [2]int{64, 32}
 	out := &Figure3Result{Allocations: [2]string{"64x64", "32x32"}}
-	for i, slots := range allocs {
-		cfg := TestbedConfig(seed + int64(i))
-		cfg.Workers = slots
-		cfg.MapSlotsPerNode = 1
-		cfg.ReduceSlotsPerNode = 1
-		res, err := runTestbedJob(cfg, cluster.Job{Spec: workload.WordCountExample()}, sched.FIFO{})
-		if err != nil {
-			return nil, err
-		}
-		tpl := profilerFromResult(res).Jobs[0].Template
-		samples[i] = sample{
-			maps:     tpl.MapDurations,
-			shuffles: tpl.TypicalShuffle,
-			reduces:  tpl.ReduceDurations,
-		}
+	tpls, err := parallel.Map(context.Background(), 0, len(allocs),
+		func(_ context.Context, i int) (*trace.Template, error) {
+			cfg := TestbedConfig(seed + int64(i))
+			cfg.Workers = allocs[i]
+			cfg.MapSlotsPerNode = 1
+			cfg.ReduceSlotsPerNode = 1
+			res, err := runTestbedJob(cfg, cluster.Job{Spec: workload.WordCountExample()}, sched.FIFO{})
+			if err != nil {
+				return nil, err
+			}
+			return profilerFromResult(res).Jobs[0].Template, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, tpl := range tpls {
 		const pts = 100
 		out.MapCDF[i] = stats.NewECDF(tpl.MapDurations).Points(pts)
 		out.ShuffleCDF[i] = stats.NewECDF(tpl.TypicalShuffle).Points(pts)
 		out.ReduceCDF[i] = stats.NewECDF(tpl.ReduceDurations).Points(pts)
 	}
-	out.KSMap = stats.KolmogorovSmirnovTwoSample(samples[0].maps, samples[1].maps)
-	out.KSShuffle = stats.KolmogorovSmirnovTwoSample(samples[0].shuffles, samples[1].shuffles)
-	out.KSReduce = stats.KolmogorovSmirnovTwoSample(samples[0].reduces, samples[1].reduces)
+	out.KSMap = stats.KolmogorovSmirnovTwoSample(tpls[0].MapDurations, tpls[1].MapDurations)
+	out.KSShuffle = stats.KolmogorovSmirnovTwoSample(tpls[0].TypicalShuffle, tpls[1].TypicalShuffle)
+	out.KSReduce = stats.KolmogorovSmirnovTwoSample(tpls[0].ReduceDurations, tpls[1].ReduceDurations)
 	return out, nil
 }
 
@@ -120,18 +124,24 @@ func TableI(executions int, seed int64) (*TableIResult, error) {
 	type phaseSamples struct{ m, s, r [][]float64 }
 	byApp := make([]phaseSamples, len(apps))
 
-	for ai, app := range apps {
-		spec := app.Spec(0)
-		for e := 0; e < executions; e++ {
+	// The (application, execution) grid of profiled testbed runs is
+	// embarrassingly parallel: each cell seeds its own emulated cluster.
+	// Flat cell index ai*executions+e keeps collection deterministic.
+	tpls, err := parallel.Map(context.Background(), 0, len(apps)*executions,
+		func(_ context.Context, i int) (*trace.Template, error) {
+			ai, e := i/executions, i%executions
 			cfg := TestbedConfig(seed + int64(ai*1000+e))
-			tpl, _, err := profileSpec(cfg, spec)
-			if err != nil {
-				return nil, err
-			}
-			byApp[ai].m = append(byApp[ai].m, tpl.MapDurations)
-			byApp[ai].s = append(byApp[ai].s, tpl.TypicalShuffle)
-			byApp[ai].r = append(byApp[ai].r, tpl.ReduceDurations)
-		}
+			tpl, _, err := profileSpec(cfg, apps[ai].Spec(0))
+			return tpl, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, tpl := range tpls {
+		ai := i / executions
+		byApp[ai].m = append(byApp[ai].m, tpl.MapDurations)
+		byApp[ai].s = append(byApp[ai].s, tpl.TypicalShuffle)
+		byApp[ai].r = append(byApp[ai].r, tpl.ReduceDurations)
 	}
 
 	out := &TableIResult{Executions: executions}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"simmr/internal/engine"
+	"simmr/internal/parallel"
 	"simmr/internal/sched"
 	"simmr/internal/trace"
 )
@@ -40,12 +42,16 @@ func AblationPreemption(repetitions int, seed int64) (*PreemptionResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	out := &PreemptionResult{Repetitions: repetitions}
-	for _, meanIA := range []float64{10, 100, 1000} {
-		row := PreemptionRow{InterArrivalMean: meanIA}
-		for _, preempt := range []bool{false, true} {
+	// The (arrival rate, preempt on/off) grid runs concurrently: both
+	// variants of a rate re-seed the same RNG, so they replay identical
+	// workloads, and the pool templates are shared read-only.
+	rates := []float64{10, 100, 1000}
+	variants := []bool{false, true}
+	utils, err := parallel.Map(context.Background(), 0, len(rates)*len(variants),
+		func(_ context.Context, i int) (float64, error) {
+			meanIA := rates[i/len(variants)]
 			cfg := EngineConfig()
-			cfg.PreemptMapTasks = preempt
+			cfg.PreemptMapTasks = variants[i%len(variants)]
 			rng := rand.New(rand.NewSource(seed ^ int64(meanIA)))
 			var sum float64
 			for rep := 0; rep < repetitions; rep++ {
@@ -62,24 +68,30 @@ func AblationPreemption(repetitions int, seed int64) (*PreemptionResult, error) 
 				tr.Normalize()
 				util, err := runUtilityWith(cfg, tr, sched.MaxEDF{})
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				sum += util
 			}
-			if preempt {
-				row.Preempt = sum / float64(repetitions)
-			} else {
-				row.NoPreempt = sum / float64(repetitions)
-			}
-		}
-		out.Rows = append(out.Rows, row)
+			return sum / float64(repetitions), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &PreemptionResult{Repetitions: repetitions}
+	for ri, meanIA := range rates {
+		out.Rows = append(out.Rows, PreemptionRow{
+			InterArrivalMean: meanIA,
+			NoPreempt:        utils[ri*len(variants)],
+			Preempt:          utils[ri*len(variants)+1],
+		})
 	}
 	return out, nil
 }
 
 // runUtilityWith is runUtility with an explicit engine configuration.
+// The engine treats the trace as read-only; no clone is needed.
 func runUtilityWith(cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
-	res, err := engine.Run(cfg, tr.Clone(), policy)
+	res, err := engine.Run(cfg, tr, policy)
 	if err != nil {
 		return 0, err
 	}

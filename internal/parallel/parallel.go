@@ -1,0 +1,147 @@
+// Package parallel provides the bounded worker pool behind SimMR's
+// parallel replay runtime: capacity sweeps, replay batches, and the
+// embarrassingly-parallel experiment grids all fan independent
+// simulation runs across cores through it.
+//
+// The pool makes three guarantees the callers rely on:
+//
+//   - Deterministic collection: results come back indexed exactly as the
+//     inputs were ordered, regardless of which worker finished first, so
+//     a parallel grid is byte-identical to its serial counterpart.
+//   - First-error aggregation: the error of the lowest-indexed failing
+//     task is returned (the same error a serial in-order loop would have
+//     surfaced first); remaining tasks are canceled promptly.
+//   - Cancellation: the context passed to Map/ForEach flows to every
+//     task; canceling it stops the pool early.
+//
+// Simulation runs share immutable inputs (traces, templates, pools of
+// profiled jobs) read-only; all mutable state lives inside each run's
+// engine. See DESIGN.md "Concurrency model".
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values <= 0 mean "one worker
+// per available CPU" (runtime.GOMAXPROCS), and the count is never more
+// than n, the number of tasks.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a bounded pool of
+// workers and returns the n results in index order. workers <= 0 uses
+// one worker per CPU. On failure the lowest-indexed task error is
+// returned and the remaining tasks are canceled; the partial results
+// are discarded. fn must be safe for concurrent invocation when
+// workers > 1.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Serial fast path: identical semantics, no goroutine overhead.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || cctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(cctx, i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	// The parent context may have been canceled with no task reporting it
+	// (workers observe cctx before claiming an index).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a bounded pool, with
+// the same ordering, error, and cancellation guarantees as Map.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// firstError picks the lowest-indexed real failure. Cancellation errors
+// are only reported when no task failed for a substantive reason: once
+// one task fails, siblings that were already running may return
+// context.Canceled, and those must not mask the root cause.
+func firstError(errs []error) error {
+	var canceled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return err
+	}
+	return canceled
+}

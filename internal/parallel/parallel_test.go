@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("cell-%03d", i), nil
+	}
+	serial, err := Map(context.Background(), 1, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(context.Background(), 8, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel diverged from serial:\n%v\n%v", serial, par)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			if i == 3 || i == 30 {
+				return 0, fmt.Errorf("task %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// Workers race, but the reported failure is always a substantive
+		// one, never a cancellation of an innocent sibling.
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: cancellation masked the root cause: %v", workers, err)
+		}
+	}
+}
+
+func TestMapErrorStopsRemainingWork(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 2, 1000, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n > 10 {
+		t.Fatalf("%d tasks ran after the failure; pool did not stop", n)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, 2, 1000, func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 1 {
+				cancel()
+			}
+			return i, ctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not stop after cancellation")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("%d tasks ran after cancellation", n)
+	}
+}
+
+func TestMapPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 10, func(_ context.Context, i int) (int, error) {
+		t.Error("fn ran under pre-canceled context")
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 64)
+	err := ForEach(context.Background(), 0, len(out), func(_ context.Context, i int) error {
+		out[i] = i + 1
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 8); w < 1 {
+		t.Fatalf("Workers(0,8) = %d", w)
+	}
+	if w := Workers(16, 4); w != 4 {
+		t.Fatalf("Workers(16,4) = %d, want 4 (clamped to n)", w)
+	}
+	if w := Workers(3, 100); w != 3 {
+		t.Fatalf("Workers(3,100) = %d", w)
+	}
+}

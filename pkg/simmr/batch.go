@@ -1,0 +1,71 @@
+package simmr
+
+import (
+	"context"
+	"fmt"
+
+	"simmr/internal/engine"
+	"simmr/internal/parallel"
+	"simmr/internal/sched"
+)
+
+// ReplaySpec is one unit of a ReplayBatch: a trace replayed under a
+// policy and engine configuration. The zero-value Config means
+// DefaultReplayConfig; a nil Policy means FIFO. Traces may be shared
+// between specs (and with the caller) — the engine treats them as
+// read-only.
+type ReplaySpec struct {
+	// Name labels the spec in error messages; defaults to the trace name.
+	Name   string
+	Config ReplayConfig
+	Trace  *Trace
+	// Policy must be stateless if the same value is reused across specs
+	// (all built-ins except DynamicPriority are); give each spec its own
+	// instance otherwise.
+	Policy Policy
+}
+
+// ReplayBatch replays N independent simulations — any mix of traces,
+// policies, and configurations — concurrently on a bounded worker pool
+// (one worker per CPU). Results come back in spec order, identical to
+// running each spec serially; the first failing spec's error (lowest
+// index) is returned.
+func ReplayBatch(specs []ReplaySpec) ([]*ReplayResult, error) {
+	return ReplayBatchCtx(context.Background(), 0, specs)
+}
+
+// ReplayBatchCtx is ReplayBatch with an explicit worker bound
+// (0 = one per CPU, 1 = serial) and cancellation.
+func ReplayBatchCtx(ctx context.Context, workers int, specs []ReplaySpec) ([]*ReplayResult, error) {
+	for i := range specs {
+		if specs[i].Trace == nil || len(specs[i].Trace.Jobs) == 0 {
+			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(&specs[i]), ErrEmptyWorkload)
+		}
+	}
+	return parallel.Map(ctx, workers, len(specs), func(_ context.Context, i int) (*ReplayResult, error) {
+		spec := &specs[i]
+		cfg := spec.Config
+		if cfg == (ReplayConfig{}) {
+			cfg = engine.DefaultConfig()
+		}
+		policy := spec.Policy
+		if policy == nil {
+			policy = sched.FIFO{}
+		}
+		res, err := engine.Run(cfg, spec.Trace, policy)
+		if err != nil {
+			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(spec), err)
+		}
+		return res, nil
+	})
+}
+
+func specName(s *ReplaySpec) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Trace != nil && s.Trace.Name != "" {
+		return s.Trace.Name
+	}
+	return "unnamed"
+}

@@ -1,11 +1,19 @@
 package simmr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"simmr/internal/engine"
+	"simmr/internal/parallel"
 	"simmr/internal/sched"
 )
+
+// ErrEmptyWorkload is returned by CapacitySweep and ReplayBatch when
+// asked to simulate a workload with no jobs: every per-job statistic
+// (mean completion, deadline misses) would be undefined.
+var ErrEmptyWorkload = errors.New("simmr: empty workload")
 
 // SweepPoint is one cell of a capacity-planning sweep: the replay
 // outcome of the workload on a cluster with the given slot counts.
@@ -24,60 +32,108 @@ type SweepConfig struct {
 	// sweep, the common what-if).
 	MapSlotCounts    []int
 	ReduceSlotCounts []int
-	// Policy defaults to FIFO.
+	// Policy defaults to FIFO. The policy value is shared by every
+	// concurrent cell, so it must be stateless (all built-in policies
+	// except DynamicPriority are); stateful schedulers need PolicyFactory.
 	Policy Policy
+	// PolicyFactory, when set, builds a fresh policy per cell and takes
+	// precedence over Policy. Required for stateful schedulers such as
+	// DynamicPriority.
+	PolicyFactory func() Policy
 	// MinMapPercentCompleted defaults to 0.05.
 	MinMapPercentCompleted float64
+	// Workers bounds the number of cells replayed concurrently: 0 means
+	// one worker per CPU, 1 forces the serial path. Results are in grid
+	// order and identical regardless of the worker count.
+	Workers int
 }
+
+// sweepCell is one (map slots, reduce slots) grid position.
+type sweepCell struct{ m, r int }
 
 // CapacitySweep replays a workload across a grid of cluster sizes — the
 // §I provisioning question ("one has to evaluate whether additional
-// resources are required") answered in simulation. The trace is cloned
-// per cell; results come back in grid order (map-slot major).
+// resources are required") answered in simulation. Cells are replayed
+// concurrently on a bounded worker pool against the shared, read-only
+// trace (the engine never mutates it, so no per-cell clone is taken);
+// results come back in grid order (map-slot major) and are
+// byte-identical to a serial sweep.
 func CapacitySweep(tr *Trace, cfg SweepConfig) ([]SweepPoint, error) {
+	return CapacitySweepCtx(context.Background(), tr, cfg)
+}
+
+// CapacitySweepCtx is CapacitySweep with cancellation: canceling ctx
+// stops the remaining cells and returns the context's error.
+func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepPoint, error) {
 	if len(cfg.MapSlotCounts) == 0 {
 		return nil, fmt.Errorf("simmr: sweep needs at least one map-slot count")
 	}
-	policy := cfg.Policy
-	if policy == nil {
-		policy = sched.FIFO{}
+	if tr == nil || len(tr.Jobs) == 0 {
+		return nil, fmt.Errorf("simmr: capacity sweep: %w", ErrEmptyWorkload)
+	}
+	newPolicy := cfg.PolicyFactory
+	if newPolicy == nil {
+		policy := cfg.Policy
+		if policy == nil {
+			policy = sched.FIFO{}
+		}
+		newPolicy = func() Policy { return policy }
 	}
 	slowstart := cfg.MinMapPercentCompleted
 	if slowstart == 0 {
 		slowstart = 0.05
 	}
-	reduceCounts := cfg.ReduceSlotCounts
-	var out []SweepPoint
+
+	// Flatten the grid up front: preallocates the output exactly and
+	// avoids the old per-map-slot []int{m} allocation for square sweeps.
+	rows := len(cfg.ReduceSlotCounts)
+	if rows == 0 {
+		rows = 1
+	}
+	cells := make([]sweepCell, 0, len(cfg.MapSlotCounts)*rows)
 	for _, m := range cfg.MapSlotCounts {
-		rcs := reduceCounts
-		if rcs == nil {
-			rcs = []int{m}
+		if cfg.ReduceSlotCounts == nil {
+			cells = append(cells, sweepCell{m, m})
+			continue
 		}
-		for _, r := range rcs {
-			res, err := engine.Run(engine.Config{
-				MapSlots:               m,
-				ReduceSlots:            r,
-				MinMapPercentCompleted: slowstart,
-			}, tr.Clone(), policy)
-			if err != nil {
-				return nil, fmt.Errorf("simmr: sweep at %d+%d slots: %w", m, r, err)
-			}
-			p := SweepPoint{MapSlots: m, ReduceSlots: r, Makespan: res.Makespan}
-			for _, j := range res.Jobs {
-				c := j.CompletionTime()
-				p.MeanCompletion += c
-				if c > p.MaxCompletion {
-					p.MaxCompletion = c
-				}
-				if j.ExceededDeadline() {
-					p.DeadlinesMissed++
-				}
-			}
-			p.MeanCompletion /= float64(len(res.Jobs))
-			out = append(out, p)
+		for _, r := range cfg.ReduceSlotCounts {
+			cells = append(cells, sweepCell{m, r})
 		}
 	}
-	return out, nil
+
+	return parallel.Map(ctx, cfg.Workers, len(cells), func(_ context.Context, i int) (SweepPoint, error) {
+		c := cells[i]
+		res, err := engine.Run(engine.Config{
+			MapSlots:               c.m,
+			ReduceSlots:            c.r,
+			MinMapPercentCompleted: slowstart,
+		}, tr, newPolicy())
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("simmr: sweep at %d+%d slots: %w", c.m, c.r, err)
+		}
+		return sweepPoint(c, res), nil
+	})
+}
+
+// sweepPoint condenses one replay into its sweep cell.
+func sweepPoint(c sweepCell, res *engine.Result) SweepPoint {
+	p := SweepPoint{MapSlots: c.m, ReduceSlots: c.r, Makespan: res.Makespan}
+	for _, j := range res.Jobs {
+		ct := j.CompletionTime()
+		p.MeanCompletion += ct
+		if ct > p.MaxCompletion {
+			p.MaxCompletion = ct
+		}
+		if j.ExceededDeadline() {
+			p.DeadlinesMissed++
+		}
+	}
+	// Guarded: engine validation rejects empty traces, but a zero
+	// denominator must never yield NaN points.
+	if n := len(res.Jobs); n > 0 {
+		p.MeanCompletion /= float64(n)
+	}
+	return p
 }
 
 // SmallestClusterMeeting returns the first sweep point (in grid order,

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify bench bench-guard clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ verify:
 # replay, and serial-vs-parallel capacity-sweep wall time.
 bench:
 	$(GO) run ./cmd/benchreport -o BENCH_engine.json
+
+# bench-guard reruns the replay benchmark and fails if allocations per
+# replay regressed more than 5% against BENCH_engine.json (or
+# throughput collapsed). Keeps the disabled observability path free.
+bench-guard:
+	$(GO) run ./cmd/benchreport -guard -o BENCH_engine.json
 
 clean:
 	rm -f BENCH_engine.json

@@ -21,6 +21,12 @@ import (
 // bounded by the peak live-event population, not the total event count.
 func BenchmarkReplayAllocs(b *testing.B) { benchkit.Replay(b) }
 
+// BenchmarkReplayObserved is BenchmarkReplayAllocs with a metrics sink
+// attached — compare the two for the cost of turning observability on.
+// `make bench-guard` enforces that the no-sink path stays within 5% of
+// the BENCH_engine.json allocation baseline.
+func BenchmarkReplayObserved(b *testing.B) { benchkit.ReplayObserved(b) }
+
 // BenchmarkCapacitySweepSerial is the single-worker reference for the
 // 16-cell capacity sweep.
 func BenchmarkCapacitySweepSerial(b *testing.B) { benchkit.Sweep(b, 1) }

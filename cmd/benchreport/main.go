@@ -2,6 +2,12 @@
 // throughput, replay allocations, serial and parallel capacity sweeps)
 // and writes the condensed metrics to BENCH_engine.json. `make bench`
 // is the usual entry point.
+//
+// With -guard, benchreport instead reruns the replay benchmark and
+// compares it against an existing baseline, exiting nonzero if
+// allocations per replay regressed beyond benchkit.AllocTolerance or
+// throughput collapsed — `make bench-guard` is the usual entry point,
+// and the check that keeps the no-sink observability path free.
 package main
 
 import (
@@ -16,7 +22,22 @@ import (
 
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output path for the metrics JSON")
+	guard := flag.Bool("guard", false, "compare the replay benchmark against the -o baseline instead of rewriting it")
 	flag.Parse()
+
+	if *guard {
+		fmt.Fprintf(os.Stderr, "benchreport: guarding replay benchmark against %s...\n", *out)
+		summary, err := benchkit.Guard(*out)
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("bench-guard: OK")
+		return
+	}
 
 	fmt.Fprintln(os.Stderr, "benchreport: running engine benchmarks (replay, serial sweep, parallel sweep)...")
 	m := benchkit.Collect()

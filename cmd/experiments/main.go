@@ -17,9 +17,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"simmr/internal/experiments"
+	"simmr/internal/parallel"
 	"simmr/internal/report"
 )
 
@@ -74,12 +76,14 @@ func run() error {
 			cfg := experiments.DefaultFigure7Config()
 			cfg.Repetitions = *reps
 			cfg.Seed = *seed
+			cfg.Progress = stderrProgress("fig7")
 			return experiments.Figure7(cfg)
 		}},
 		{"fig8", "figure8_deadlines_facebook.tsv", func() (renderer, error) {
 			cfg := experiments.DefaultFigure8Config()
 			cfg.Repetitions = *reps
 			cfg.Seed = *seed
+			cfg.Progress = stderrProgress("fig8")
 			return experiments.Figure8(cfg)
 		}},
 		{"fit", "facebook_fit_map.tsv", func() (renderer, error) { return experiments.FacebookFit("map", 20000, *seed) }},
@@ -124,4 +128,25 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", reportPath)
 	return nil
+}
+
+// stderrProgress renders a sweep's cell completion on stderr as a
+// rewriting ticker. Per parallel.ProgressFunc's contract the callback
+// may arrive concurrently with out-of-order done values, so it renders
+// the max seen under a mutex; the rate bound keeps it off the worker
+// pool's critical path.
+func stderrProgress(name string) parallel.ProgressFunc {
+	var mu sync.Mutex
+	maxDone := 0
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done <= maxDone {
+			return
+		}
+		maxDone = done
+		// Rewrites the "running fig7 -> file ..." line; the caller's
+		// " done in Xs" suffix lands after the final (total/total) tick.
+		fmt.Fprintf(os.Stderr, "\rrunning %-7s %d/%d cells ...", name, done, total)
+	}
 }

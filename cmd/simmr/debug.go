@@ -1,0 +1,39 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"simmr/pkg/simmr"
+)
+
+// startDebugServer exposes the run's live metrics and the standard Go
+// profiling endpoints on addr for the lifetime of the process:
+//
+//	/debug/vars         expvar JSON, including simmr.metrics (the
+//	                    MetricsSink snapshot — event counts by kind,
+//	                    aggregated run counters)
+//	/debug/pprof/...    net/http/pprof profiles
+//
+// The returned sink must be attached to the replay (Config.Sink or a
+// SinkFactory tee); it is the one concurrency-safe sink, so a single
+// instance can aggregate across parallel engines.
+func startDebugServer(addr string) (*simmr.MetricsSink, error) {
+	sink := simmr.NewMetricsSink()
+	expvar.Publish("simmr.metrics", expvar.Func(sink.ExpvarValue))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "simmr: debug endpoint at http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
+	go func() {
+		// The server lives as long as the process; errors after a clean
+		// exit are expected and ignored.
+		_ = http.Serve(ln, nil)
+	}()
+	return sink, nil
+}

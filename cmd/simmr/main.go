@@ -7,6 +7,16 @@
 //	simmr -trace trace.json [-policy fifo|maxedf|minedf|fair|capacity]
 //	      [-map-slots 64] [-reduce-slots 64] [-slowstart 0.05]
 //	      [-engine simmr|mumak] [-db dir -name trace]
+//	      [-debug-addr localhost:6060]
+//
+// The `trace run` subcommand replays a workload with the observability
+// sinks attached and exports a Chrome trace-event file:
+//
+//	simmr trace run -trace trace.json -out trace_events.json
+//	      [-slot-timeline slots.tsv] [-policy ...] [-map-slots ...]
+//
+// -debug-addr serves live run metrics (expvar, /debug/vars) and the
+// net/http/pprof profiling endpoints while a replay runs.
 package main
 
 import (
@@ -21,6 +31,15 @@ import (
 )
 
 func main() {
+	// Subcommands come before the flag-only interface; everything else
+	// falls through to the classic replay path.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTraceCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "simmr:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "simmr:", err)
 		os.Exit(1)
@@ -44,6 +63,7 @@ func run() error {
 		info        = flag.Bool("info", false, "print trace statistics and exit without simulating")
 		sweep       = flag.String("sweep", "", "comma-separated map-slot counts: replay across cluster sizes and exit")
 		jsonOut     = flag.Bool("json", false, "emit per-job results as JSON lines (simmr engine only)")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar run metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -55,8 +75,15 @@ func run() error {
 		printInfo(tr)
 		return nil
 	}
+	var metricsSink *simmr.MetricsSink
+	if *debugAddr != "" {
+		metricsSink, err = startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+	}
 	if *sweep != "" {
-		return runSweep(tr, *sweep)
+		return runSweep(tr, *sweep, metricsSink)
 	}
 	policy, err := policyByName(*policyName, *shares)
 	if err != nil {
@@ -70,6 +97,9 @@ func run() error {
 			ReduceSlots:            *reduceSlots,
 			MinMapPercentCompleted: *slowstart,
 			RecordSpans:            *timeline != "",
+		}
+		if metricsSink != nil {
+			cfg.Sink = metricsSink
 		}
 		res, err := simmr.Replay(cfg, tr, policy)
 		if err != nil {
@@ -156,7 +186,9 @@ func writeTimeline(path string, res *simmr.ReplayResult, step float64) error {
 }
 
 // runSweep replays the trace across a grid of square cluster sizes.
-func runSweep(tr *simmr.Trace, spec string) error {
+// When a metrics sink is live (-debug-addr), every concurrent cell
+// reports into it — MetricsSink is the one sink safe to share.
+func runSweep(tr *simmr.Trace, spec string, metricsSink *simmr.MetricsSink) error {
 	var counts []int
 	for _, part := range strings.Split(spec, ",") {
 		var n int
@@ -165,7 +197,11 @@ func runSweep(tr *simmr.Trace, spec string) error {
 		}
 		counts = append(counts, n)
 	}
-	points, err := simmr.CapacitySweep(tr, simmr.SweepConfig{MapSlotCounts: counts})
+	scfg := simmr.SweepConfig{MapSlotCounts: counts}
+	if metricsSink != nil {
+		scfg.SinkFactory = func(_, _ int) simmr.Sink { return metricsSink }
+	}
+	points, err := simmr.CapacitySweep(tr, scfg)
 	if err != nil {
 		return err
 	}

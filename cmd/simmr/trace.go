@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simmr/pkg/simmr"
+)
+
+// runTraceCmd implements the `simmr trace run` subcommand: replay a
+// workload with the observability sinks attached and export the result
+// as a Chrome trace-event file (open in chrome://tracing or Perfetto)
+// and, optionally, a slot-occupancy TSV.
+func runTraceCmd(args []string) error {
+	if len(args) == 0 || args[0] != "run" {
+		return fmt.Errorf("usage: simmr trace run -trace FILE [-out trace.json] [flags]")
+	}
+	fs := flag.NewFlagSet("trace run", flag.ContinueOnError)
+	var (
+		tracePath   = fs.String("trace", "", "path to a trace JSON file")
+		dbDir       = fs.String("db", "", "trace database directory (with -name)")
+		dbName      = fs.String("name", "", "trace name inside -db")
+		policyName  = fs.String("policy", "fifo", "scheduling policy: fifo, maxedf, minedf, fair, capacity")
+		shares      = fs.String("capacity-shares", "0.5,0.5", "comma-separated queue shares for -policy capacity")
+		mapSlots    = fs.Int("map-slots", 64, "cluster map slots")
+		reduceSlots = fs.Int("reduce-slots", 64, "cluster reduce slots")
+		slowstart   = fs.Float64("slowstart", 0.05, "fraction of maps completed before reduces launch")
+		out         = fs.String("out", "trace.json", "Chrome trace-event output path")
+		slotTSV     = fs.String("slot-timeline", "", "also write a slot-occupancy TSV (renders via internal/report)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
+	if err != nil {
+		return err
+	}
+	policy, err := policyByName(*policyName, *shares)
+	if err != nil {
+		return err
+	}
+
+	ct := simmr.NewChromeTraceSink()
+	var tl *simmr.TimelineSink
+	sink := simmr.Sink(ct)
+	if *slotTSV != "" {
+		tl = simmr.NewTimelineSink()
+		sink = simmr.TeeSinks(ct, tl)
+	}
+	cfg := simmr.ReplayConfig{
+		MapSlots:               *mapSlots,
+		ReduceSlots:            *reduceSlots,
+		MinMapPercentCompleted: *slowstart,
+		Sink:                   sink,
+	}
+	res, err := simmr.Replay(cfg, tr, policy)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := ct.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if tl != nil {
+		g, err := os.Create(*slotTSV)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteTSV(g); err != nil {
+			g.Close()
+			return err
+		}
+		if err := g.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s\n",
+		len(res.Jobs), res.Makespan, res.Events, policy.Name())
+	fmt.Printf("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *out)
+	if tl != nil {
+		fmt.Printf("wrote %s\n", *slotTSV)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"simmr/internal/obs"
+	"simmr/pkg/simmr"
+)
+
+// AllocTolerance is the accepted allocs-per-replay regression against
+// the recorded baseline: the no-sink replay path must stay within 5% of
+// BENCH_engine.json. Allocation counts are deterministic, so this is a
+// hard bound.
+const AllocTolerance = 0.05
+
+// ThroughputFloor is the fraction of baseline events/sec below which
+// the guard fails. Wall-clock is noisy across machines and load, so the
+// floor is deliberately loose — it catches order-of-magnitude
+// regressions, not jitter.
+const ThroughputFloor = 0.70
+
+// ReplayObserved is Replay with a metrics sink attached — the worst
+// realistic always-on observability cost (every event tallied, run
+// counters aggregated). Compare its allocs/op and events/sec against
+// Replay for the price of turning observability on.
+func ReplayObserved(b *testing.B) {
+	tr := fixture(replayJobs)
+	sink := obs.NewMetricsSink()
+	cfg := simmr.DefaultReplayConfig()
+	cfg.Sink = sink
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := simmr.Replay(cfg, tr, simmr.NewFIFO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// LoadBaseline reads a BENCH_engine.json produced by cmd/benchreport.
+func LoadBaseline(path string) (Metrics, error) {
+	var m Metrics
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("benchkit: parsing baseline %s: %w", path, err)
+	}
+	if m.ReplayAllocsPerOp <= 0 {
+		return m, fmt.Errorf("benchkit: baseline %s has no replay_allocs_per_op", path)
+	}
+	return m, nil
+}
+
+// Guard reruns the no-sink replay benchmark and fails if it regressed
+// against the baseline: allocations per replay beyond AllocTolerance
+// (hard, deterministic) or throughput below ThroughputFloor (loose,
+// wall-clock). The returned summary is printable either way.
+func Guard(baselinePath string) (string, error) {
+	base, err := LoadBaseline(baselinePath)
+	if err != nil {
+		return "", err
+	}
+	rep := testing.Benchmark(Replay)
+	allocs := rep.AllocsPerOp()
+	eps := rep.Extra["events/sec"]
+
+	allocLimit := int64(float64(base.ReplayAllocsPerOp) * (1 + AllocTolerance))
+	summary := fmt.Sprintf("replay allocs/op %d (baseline %d, limit %d), %.0f events/sec (baseline %.0f, floor %.0f)",
+		allocs, base.ReplayAllocsPerOp, allocLimit,
+		eps, base.EventsPerSec, base.EventsPerSec*ThroughputFloor)
+	if allocs > allocLimit {
+		return summary, fmt.Errorf("benchkit: replay allocations regressed >%.0f%%: %d/op vs baseline %d/op",
+			AllocTolerance*100, allocs, base.ReplayAllocsPerOp)
+	}
+	if base.EventsPerSec > 0 && eps < base.EventsPerSec*ThroughputFloor {
+		return summary, fmt.Errorf("benchkit: replay throughput collapsed: %.0f events/sec vs baseline %.0f",
+			eps, base.EventsPerSec)
+	}
+	return summary, nil
+}

@@ -62,6 +62,7 @@ type EventQueue struct {
 	h       eventHeap
 	nextSeq uint64
 	fired   uint64
+	hiWater int
 
 	slab []Event  // tail of the current allocation chunk
 	free []*Event // recycled events, reused before the slab grows
@@ -113,6 +114,13 @@ func (q *EventQueue) Len() int { return len(q.h) }
 // the paper (§I: "SimMR can process over one million events per second").
 func (q *EventQueue) Fired() uint64 { return q.fired }
 
+// HighWater returns the peak pending-event population seen so far —
+// the engine's "heap high-water" observability counter, and the
+// quantity that bounds steady-state allocations under the slab/free-
+// list discipline (allocations track peak live events, not total
+// events fired).
+func (q *EventQueue) HighWater() int { return q.hiWater }
+
 // Push schedules a new event and returns it. The returned pointer can be
 // used later with Update or Remove (e.g. to patch a filler shuffle).
 func (q *EventQueue) Push(t Time, typ, jobID int, payload any) *Event {
@@ -120,6 +128,9 @@ func (q *EventQueue) Push(t Time, typ, jobID int, payload any) *Event {
 	*e = Event{Time: t, Type: typ, JobID: jobID, Payload: payload, seq: q.nextSeq}
 	q.nextSeq++
 	heap.Push(&q.h, e)
+	if len(q.h) > q.hiWater {
+		q.hiWater = len(q.h)
+	}
 	return e
 }
 
@@ -131,6 +142,9 @@ func (q *EventQueue) PushTask(t Time, typ, jobID, task int) *Event {
 	*e = Event{Time: t, Type: typ, JobID: jobID, Task: task, seq: q.nextSeq}
 	q.nextSeq++
 	heap.Push(&q.h, e)
+	if len(q.h) > q.hiWater {
+		q.hiWater = len(q.h)
+	}
 	return e
 }
 

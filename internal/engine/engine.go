@@ -25,8 +25,10 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"simmr/internal/des"
+	"simmr/internal/obs"
 	"simmr/internal/sched"
 	"simmr/internal/trace"
 )
@@ -69,6 +71,15 @@ type Config struct {
 	// lets that explanation be tested. Only meaningful with
 	// deadline-driven policies.
 	PreemptMapTasks bool
+
+	// Sink, when non-nil, receives every engine event (obs.Kind
+	// taxonomy) synchronously in handled order, plus the run-level
+	// counters at the end of Run. Every emission sits behind a single
+	// nil check, so a nil Sink costs nothing on the hot path
+	// (`make bench-guard` enforces this). Sinks need not be safe for
+	// concurrent use — each engine must own its own instance; parallel
+	// runtimes build them via obs.SinkFactory (DESIGN.md §8).
+	Sink obs.Sink
 }
 
 // DefaultConfig returns the paper's validation configuration: 64 map
@@ -116,6 +127,15 @@ type JobOutcome struct {
 	Finish      float64
 	Deadline    float64
 	MapStageEnd float64
+
+	// Per-job event counts, always maintained (plain integer
+	// increments): task executions completed and engine events handled
+	// for this job, so callers can report task counts without
+	// re-reading the trace.
+	MapTasksRun    int // map-task departures (preempted attempts excluded)
+	ReduceTasksRun int // reduce-task departures
+	PreemptedMaps  int // map attempts killed by preemption (re-run later)
+	Events         int // engine events handled for this job
 
 	// Spans are present only when Config.RecordSpans is set.
 	MapSpans    []Span
@@ -194,6 +214,16 @@ type Engine struct {
 	freeMap    int
 	freeReduce int
 	remaining  int
+
+	// sink mirrors cfg.Sink; every emission is guarded by a nil check
+	// so the disabled path stays allocation- and branch-cheap.
+	sink obs.Sink
+	// Run-level observability counters, maintained unconditionally
+	// (plain increments on cold paths) and delivered via sink.RunEnd.
+	preemptions      uint64
+	fillerPatches    uint64
+	mapSlotAllocs    uint64
+	reduceSlotAllocs uint64
 }
 
 // New builds an engine for the trace and policy. The trace is validated
@@ -217,6 +247,7 @@ func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 		freeMap:    cfg.MapSlots,
 		freeReduce: cfg.ReduceSlots,
 		remaining:  len(tr.Jobs),
+		sink:       cfg.Sink,
 	}
 	// Normalized traces carry dense IDs 0..n-1; dispatch on a slice
 	// index then, avoiding the map (and its per-run allocation).
@@ -310,13 +341,42 @@ func (e *Engine) Run() (*Result, error) {
 			res.Makespan = sj.out.Finish
 		}
 	}
+	if e.sink != nil {
+		e.sink.RunEnd(e.counters(res))
+	}
 	return res, nil
+}
+
+// counters assembles the run-level observability totals.
+func (e *Engine) counters(res *Result) obs.Counters {
+	return obs.Counters{
+		Events:           e.q.Fired(),
+		HeapHighWater:    e.q.HighWater(),
+		Preemptions:      e.preemptions,
+		FillerPatches:    e.fillerPatches,
+		MapSlotAllocs:    e.mapSlotAllocs,
+		ReduceSlotAllocs: e.reduceSlotAllocs,
+		Jobs:             len(res.Jobs),
+		Makespan:         res.Makespan,
+	}
+}
+
+// emit delivers one observability event; callers must have checked
+// e.sink != nil (kept out of this function so the nil test inlines at
+// each cold call site without a call in the disabled case).
+func (e *Engine) emit(kind obs.Kind, jobID, task int, end, shuffleEnd float64) {
+	e.sink.Event(obs.Event{
+		Time: e.clock.Now(), Kind: kind,
+		JobID: jobID, Task: task,
+		End: end, ShuffleEnd: shuffleEnd,
+	})
 }
 
 // handle dispatches one event to its handler. Handlers must not retain
 // ev: Run recycles it into the queue's free list immediately after.
 func (e *Engine) handle(ev *des.Event) error {
 	sj := e.jobByID(ev.JobID)
+	sj.out.Events++
 	switch ev.Type {
 	case evJobArrival:
 		e.onJobArrival(sj)
@@ -351,7 +411,11 @@ func (e *Engine) allocate() {
 		info := e.active[idx]
 		info.ScheduledMaps++
 		e.freeMap--
+		e.mapSlotAllocs++
 		e.q.Push(now, evMapTaskArrival, info.ID, nil)
+		if e.sink != nil {
+			e.emit(obs.KindMapSlotAlloc, info.ID, -1, 0, 0)
+		}
 	}
 	for e.freeReduce > 0 {
 		idx := e.policy.ChooseNextReduceTask(e.active)
@@ -361,12 +425,19 @@ func (e *Engine) allocate() {
 		info := e.active[idx]
 		info.ScheduledReduces++
 		e.freeReduce--
+		e.reduceSlotAllocs++
 		e.q.Push(now, evReduceTaskArrival, info.ID, nil)
+		if e.sink != nil {
+			e.emit(obs.KindReduceSlotAlloc, info.ID, -1, 0, 0)
+		}
 	}
 }
 
 func (e *Engine) onJobArrival(sj *simJob) {
 	e.active = append(e.active, &sj.info)
+	if e.sink != nil {
+		e.emit(obs.KindJobArrival, sj.info.ID, -1, 0, 0)
+	}
 	if aa, ok := e.policy.(sched.ArrivalAware); ok {
 		aa.OnJobArrival(&sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
 	}
@@ -409,7 +480,13 @@ func (e *Engine) preemptFor(sj *simJob) {
 		delete(victim.runningMaps, killTask)
 		victim.retryMaps = append(victim.retryMaps, killTask)
 		victim.info.ScheduledMaps--
+		victim.out.PreemptedMaps++
+		e.preemptions++
 		e.freeMap++
+		if e.sink != nil {
+			e.emit(obs.KindPreempt, victim.info.ID, killTask, 0, 0)
+			e.emit(obs.KindMapSlotRelease, victim.info.ID, killTask, 0, 0)
+		}
 	}
 }
 
@@ -454,6 +531,9 @@ func (e *Engine) onMapTaskArrival(sj *simJob) {
 	if e.cfg.PreemptMapTasks {
 		sj.runningMaps[i] = ev
 	}
+	if e.sink != nil {
+		e.emit(obs.KindMapTaskStart, sj.info.ID, i, now+dur, 0)
+	}
 }
 
 func (e *Engine) onMapTaskDeparture(sj *simJob, task int) {
@@ -461,7 +541,12 @@ func (e *Engine) onMapTaskDeparture(sj *simJob, task int) {
 		delete(sj.runningMaps, task)
 	}
 	sj.info.CompletedMaps++
+	sj.out.MapTasksRun++
 	e.freeMap++
+	if e.sink != nil {
+		e.emit(obs.KindMapTaskFinish, sj.info.ID, task, 0, 0)
+		e.emit(obs.KindMapSlotRelease, sj.info.ID, task, 0, 0)
+	}
 	if !sj.info.ReduceReady && sj.info.CompletedMaps >= sj.slowstartMin {
 		sj.info.ReduceReady = true
 	}
@@ -474,14 +559,21 @@ func (e *Engine) onMapTaskDeparture(sj *simJob, task int) {
 func (e *Engine) onMapStageComplete(sj *simJob) {
 	now := e.clock.Now()
 	sj.out.MapStageEnd = now
+	if e.sink != nil {
+		e.emit(obs.KindMapStageComplete, sj.info.ID, -1, 0, 0)
+	}
 	// Patch every filler reduce: its shuffle completes firstShuffle
 	// seconds after the map stage, then its reduce phase runs.
 	for _, f := range sj.fillers {
 		end := now + f.firstShuffle + f.reducePhase
 		e.q.Update(f.ev, end)
+		e.fillerPatches++
 		if sj.out.ReduceSpans != nil {
 			sj.out.ReduceSpans[f.spanIdx].ShuffleEnd = now + f.firstShuffle
 			sj.out.ReduceSpans[f.spanIdx].End = end
+		}
+		if e.sink != nil {
+			e.emit(obs.KindFillerPatch, sj.info.ID, f.spanIdx, end, now+f.firstShuffle)
 		}
 	}
 	sj.fillers = nil
@@ -518,6 +610,10 @@ func (e *Engine) onReduceTaskArrival(sj *simJob) {
 		if sj.out.ReduceSpans != nil {
 			sj.out.ReduceSpans[i] = Span{Start: now}
 		}
+		if e.sink != nil {
+			inf := math.Inf(1)
+			e.emit(obs.KindReduceTaskStart, sj.info.ID, i, inf, inf)
+		}
 		return
 	}
 	// Typical reduce: full shuffle then reduce phase. Under the
@@ -534,11 +630,19 @@ func (e *Engine) onReduceTaskArrival(sj *simJob) {
 		sj.out.ReduceSpans[i] = Span{Start: now, ShuffleEnd: now + shuffle, End: end}
 	}
 	e.q.PushTask(end, evReduceTaskDeparture, sj.info.ID, i)
+	if e.sink != nil {
+		e.emit(obs.KindReduceTaskStart, sj.info.ID, i, end, now+shuffle)
+	}
 }
 
-func (e *Engine) onReduceTaskDeparture(sj *simJob, _ int) {
+func (e *Engine) onReduceTaskDeparture(sj *simJob, task int) {
 	sj.info.CompletedReduces++
+	sj.out.ReduceTasksRun++
 	e.freeReduce++
+	if e.sink != nil {
+		e.emit(obs.KindReduceTaskFinish, sj.info.ID, task, 0, 0)
+		e.emit(obs.KindReduceSlotRelease, sj.info.ID, task, 0, 0)
+	}
 	if sj.info.Done() {
 		e.departJob(sj)
 	}
@@ -557,6 +661,9 @@ func (e *Engine) departJob(sj *simJob) {
 func (e *Engine) onJobDeparture(sj *simJob) {
 	sj.out.Finish = e.clock.Now()
 	e.remaining--
+	if e.sink != nil {
+		e.emit(obs.KindJobDeparture, sj.info.ID, -1, 0, 0)
+	}
 	for i, info := range e.active {
 		if info == &sj.info {
 			e.active = append(e.active[:i], e.active[i+1:]...)

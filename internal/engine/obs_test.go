@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simmr/internal/obs"
+	"simmr/internal/sched"
+	"simmr/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// twoMapOneReduce is the observability reference workload: one job with
+// 2 maps and 1 reduce on a 1-map/1-reduce-slot cluster, sized so every
+// interesting path fires — slot recycling, the reduce slowstart, a
+// first-wave filler, and its map-stage patch.
+func twoMapOneReduce() *trace.Trace {
+	return oneJobTrace(uniformTemplate(2, 1, 10, 5, 7, 3))
+}
+
+// The full hand-computed event sequence of the reference workload. Maps
+// serialize on the single slot (0–10, 10–20); the reduce starts at 10
+// as a filler and is patched at map-stage end (20) to shuffle end 25,
+// finish 28.
+func TestSinkObservesExactEventSequence(t *testing.T) {
+	inf := math.Inf(1)
+	rec := &obs.RecordSink{}
+	cfg := Config{MapSlots: 1, ReduceSlots: 1, MinMapPercentCompleted: 0.05, Sink: rec}
+	res, err := Run(cfg, twoMapOneReduce(), sched.FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []obs.Event{
+		{Time: 0, Kind: obs.KindJobArrival, JobID: 0, Task: -1},
+		{Time: 0, Kind: obs.KindMapSlotAlloc, JobID: 0, Task: -1},
+		{Time: 0, Kind: obs.KindMapTaskStart, JobID: 0, Task: 0, End: 10},
+		{Time: 10, Kind: obs.KindMapTaskFinish, JobID: 0, Task: 0},
+		{Time: 10, Kind: obs.KindMapSlotRelease, JobID: 0, Task: 0},
+		{Time: 10, Kind: obs.KindMapSlotAlloc, JobID: 0, Task: -1},
+		{Time: 10, Kind: obs.KindReduceSlotAlloc, JobID: 0, Task: -1},
+		{Time: 10, Kind: obs.KindMapTaskStart, JobID: 0, Task: 1, End: 20},
+		{Time: 10, Kind: obs.KindReduceTaskStart, JobID: 0, Task: 0, End: inf, ShuffleEnd: inf},
+		{Time: 20, Kind: obs.KindMapTaskFinish, JobID: 0, Task: 1},
+		{Time: 20, Kind: obs.KindMapSlotRelease, JobID: 0, Task: 1},
+		{Time: 20, Kind: obs.KindMapStageComplete, JobID: 0, Task: -1},
+		{Time: 20, Kind: obs.KindFillerPatch, JobID: 0, Task: 0, End: 28, ShuffleEnd: 25},
+		{Time: 28, Kind: obs.KindReduceTaskFinish, JobID: 0, Task: 0},
+		{Time: 28, Kind: obs.KindReduceSlotRelease, JobID: 0, Task: 0},
+		{Time: 28, Kind: obs.KindJobDeparture, JobID: 0, Task: -1},
+	}
+	if len(rec.Events) != len(want) {
+		t.Fatalf("got %d events, want %d:\n%+v", len(rec.Events), len(want), rec.Events)
+	}
+	for i, ev := range rec.Events {
+		if ev != want[i] {
+			t.Errorf("event %d:\n got %+v\nwant %+v", i, ev, want[i])
+		}
+	}
+
+	if !rec.Ended {
+		t.Fatal("RunEnd not delivered")
+	}
+	c := rec.Counters
+	if c.Events != res.Events || c.Events != 9 {
+		t.Errorf("Counters.Events = %d (result %d), want 9", c.Events, res.Events)
+	}
+	if c.HeapHighWater != 2 {
+		t.Errorf("HeapHighWater = %d, want 2", c.HeapHighWater)
+	}
+	if c.FillerPatches != 1 || c.MapSlotAllocs != 2 || c.ReduceSlotAllocs != 1 || c.Preemptions != 0 {
+		t.Errorf("counters %+v", c)
+	}
+	if c.Jobs != 1 || c.Makespan != 28 {
+		t.Errorf("summary counters %+v", c)
+	}
+}
+
+// Satellite: JobOutcome carries per-job event counts without re-reading
+// the trace — and whether or not a sink is attached.
+func TestJobOutcomeEventCounts(t *testing.T) {
+	cfg := Config{MapSlots: 1, ReduceSlots: 1, MinMapPercentCompleted: 0.05}
+	res, err := Run(cfg, twoMapOneReduce(), sched.FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.MapTasksRun != 2 || j.ReduceTasksRun != 1 || j.PreemptedMaps != 0 {
+		t.Fatalf("task counts %+v", j)
+	}
+	// All 9 engine events of this single-job replay belong to the job.
+	if j.Events != 9 || uint64(j.Events) != res.Events {
+		t.Fatalf("Events = %d, result total %d", j.Events, res.Events)
+	}
+}
+
+// Preemption must be visible to the sink (KindPreempt + slot release)
+// and in the per-job counts, and the killed attempts must not inflate
+// MapTasksRun.
+func TestSinkObservesPreemption(t *testing.T) {
+	tr := &trace.Trace{Jobs: []*trace.Job{
+		{Name: "victim", Arrival: 0, Deadline: 100000, Template: uniformTemplate(12, 0, 50, 0, 0, 0)},
+		{Name: "urgent", Arrival: 5, Deadline: 300, Template: uniformTemplate(4, 0, 10, 0, 0, 0)},
+	}}
+	tr.Normalize()
+	rec := &obs.RecordSink{}
+	cfg := Config{MapSlots: 4, ReduceSlots: 1, MinMapPercentCompleted: 0.05,
+		PreemptMapTasks: true, Sink: rec}
+	res, err := Run(cfg, tr, sched.MaxEDF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preempts int
+	for _, ev := range rec.Events {
+		if ev.Kind == obs.KindPreempt {
+			preempts++
+			if ev.JobID != 0 {
+				t.Fatalf("preempt victim should be job 0: %+v", ev)
+			}
+		}
+	}
+	if preempts == 0 {
+		t.Fatal("no KindPreempt events observed")
+	}
+	if uint64(preempts) != rec.Counters.Preemptions {
+		t.Fatalf("preempt events %d != counter %d", preempts, rec.Counters.Preemptions)
+	}
+	victim := res.Jobs[0]
+	if victim.PreemptedMaps != preempts {
+		t.Fatalf("JobOutcome.PreemptedMaps = %d, want %d", victim.PreemptedMaps, preempts)
+	}
+	// Every map still ran to completion exactly once.
+	if victim.MapTasksRun != 12 {
+		t.Fatalf("victim MapTasksRun = %d, want 12", victim.MapTasksRun)
+	}
+}
+
+// A sink must not perturb the simulation: identical outcomes with and
+// without one attached.
+func TestSinkDoesNotAffectReplay(t *testing.T) {
+	run := func(sink obs.Sink) *Result {
+		cfg := Config{MapSlots: 3, ReduceSlots: 2, MinMapPercentCompleted: 0.05, Sink: sink}
+		tr := &trace.Trace{Jobs: []*trace.Job{
+			{Arrival: 0, Template: uniformTemplate(7, 2, 9, 4, 6, 2)},
+			{Arrival: 3, Template: uniformTemplate(5, 1, 11, 3, 5, 4)},
+		}}
+		tr.Normalize()
+		res, err := Run(cfg, tr, sched.FIFO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	observed := run(obs.Tee(&obs.RecordSink{}, obs.NewTimelineSink(), obs.NewChromeTraceSink()))
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(observed)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sink changed the replay:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// The timeline sink's reconstruction must agree with the engine's own
+// RecordSpans capture: same task intervals, just pinned to slots.
+func TestTimelineSinkMatchesRecordedSpans(t *testing.T) {
+	tl := obs.NewTimelineSink()
+	cfg := Config{MapSlots: 2, ReduceSlots: 2, MinMapPercentCompleted: 0.05,
+		RecordSpans: true, Sink: tl}
+	tr := oneJobTrace(uniformTemplate(6, 3, 10, 5, 7, 3))
+	res, err := Run(cfg, tr, sched.FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := res.Jobs[0]
+	var mapSpans, reduceSpans int
+	for _, sp := range tl.Spans() {
+		if sp.Reduce {
+			reduceSpans++
+			got := job.ReduceSpans[sp.Task]
+			if sp.Start != got.Start || sp.End != got.End || sp.ShuffleEnd != got.ShuffleEnd {
+				t.Errorf("reduce %d: timeline %+v vs engine %+v", sp.Task, sp, got)
+			}
+		} else {
+			mapSpans++
+			got := job.MapSpans[sp.Task]
+			if sp.Start != got.Start || sp.End != got.End {
+				t.Errorf("map %d: timeline %+v vs engine %+v", sp.Task, sp, got)
+			}
+		}
+		if sp.Slot < 0 || sp.Slot > 1 {
+			t.Errorf("slot %d out of range for a 2-slot class", sp.Slot)
+		}
+	}
+	if mapSpans != 6 || reduceSpans != 3 {
+		t.Fatalf("span counts %d/%d, want 6/3", mapSpans, reduceSpans)
+	}
+	if m, r := tl.Slots(); m != 2 || r != 2 {
+		t.Fatalf("peak slots %d/%d, want 2/2", m, r)
+	}
+}
+
+// Golden file: the Chrome trace-event export of the two-job FIFO
+// example must be stable byte for byte (and valid JSON — checked by
+// the decode). Regenerate with `go test ./internal/engine -run Golden -update`.
+func TestChromeTraceGoldenTwoJobFIFO(t *testing.T) {
+	ct := obs.NewChromeTraceSink()
+	cfg := Config{MapSlots: 2, ReduceSlots: 1, MinMapPercentCompleted: 0.05, Sink: ct}
+	tr := &trace.Trace{Name: "two-job-fifo", Jobs: []*trace.Job{
+		{Name: "alpha", Arrival: 0, Template: uniformTemplate(3, 1, 10, 5, 7, 4)},
+		{Name: "beta", Arrival: 5, Template: uniformTemplate(2, 1, 8, 3, 6, 2)},
+	}}
+	tr.Normalize()
+	if _, err := Run(cfg, tr, sched.FIFO{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ct.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace_two_job_fifo.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+	if !json.Valid(want) {
+		t.Fatal("golden file is not valid JSON")
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(want, &file); err != nil {
+		t.Fatal(err)
+	}
+	// 3 metadata + 7 task spans + instants (2 arrivals, 2 departures,
+	// 2 map-stage completions) = at least 16 events.
+	if len(file.TraceEvents) < 16 {
+		t.Fatalf("suspiciously small trace: %d events", len(file.TraceEvents))
+	}
+}

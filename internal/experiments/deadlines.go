@@ -31,6 +31,11 @@ type DeadlineSweepConfig struct {
 	// jobs).
 	JobsPerRun int
 	Seed       int64
+	// Progress, when set, receives bounded-rate (done cells, total
+	// cells) callbacks while the sweep runs — parallel.ProgressFunc's
+	// delivery contract. A full paper-scale sweep is minutes of work, so
+	// cmd/experiments wires this to a stderr ticker.
+	Progress parallel.ProgressFunc
 }
 
 // DefaultFigure7Config returns the paper's Figure 7 sweep. Repetitions
@@ -186,7 +191,7 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 		}
 	}
 	engCfg := EngineConfig()
-	points, err := parallel.Map(context.Background(), 0, len(cells),
+	points, err := parallel.MapProgress(context.Background(), 0, len(cells), cfg.Progress,
 		func(_ context.Context, i int) (DeadlineSweepPoint, error) {
 			c := cells[i]
 			var sumMax, sumMin float64

@@ -13,6 +13,12 @@
 //     surfaced first); remaining tasks are canceled promptly.
 //   - Cancellation: the context passed to Map/ForEach flows to every
 //     task; canceling it stops the pool early.
+//   - Bounded progress reporting: a ProgressFunc passed to
+//     MapProgress/ForEachProgress is invoked at most once per
+//     MinProgressInterval (plus one final call), claimed via a single
+//     compare-and-swap — workers that lose the claim proceed
+//     immediately, so progress reporting never serializes the pool no
+//     matter how slow the callback is.
 //
 // Simulation runs share immutable inputs (traces, templates, pools of
 // profiled jobs) read-only; all mutable state lives inside each run's
@@ -25,7 +31,73 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ProgressFunc receives completion progress: done tasks out of total.
+// Guarantees (see MapProgress):
+//
+//   - Calls are rate-bounded: successive invocations are at least
+//     MinProgressInterval apart, except the final (total, total) call,
+//     which is always delivered exactly once after the last task.
+//   - Calls are delivered from worker goroutines; with workers > 1 two
+//     rate windows can overlap (a slow callback does not delay the
+//     next window's claim), so implementations must be safe for
+//     concurrent invocation and tolerate out-of-order done values —
+//     render max(done) seen, not the latest argument.
+//   - The pool never blocks on the callback: a worker that isn't the
+//     one elected to report continues to its next task untouched.
+type ProgressFunc func(done, total int)
+
+// MinProgressInterval is the minimum spacing between ProgressFunc
+// invocations (final call excepted). The bound is what keeps progress
+// reporting off the critical path: with T tasks the callback runs
+// O(runtime/MinProgressInterval) times, not O(T).
+const MinProgressInterval = 100 * time.Millisecond
+
+// progress is the rate-bounded completion counter shared by the
+// workers of one Map call.
+type progress struct {
+	fn    ProgressFunc
+	total int
+	done  atomic.Int64
+	last  atomic.Int64 // wall nanos of the last claimed callback window
+}
+
+func newProgress(fn ProgressFunc, total int) *progress {
+	if fn == nil {
+		return nil
+	}
+	p := &progress{fn: fn, total: total}
+	// Claim the start of the run so the first callback lands after one
+	// full interval rather than on the first (instant) completion.
+	p.last.Store(time.Now().UnixNano())
+	return p
+}
+
+// tick records one completed task and invokes the callback if this
+// worker wins the rate-window claim. Completing the final task always
+// reports, regardless of the window.
+func (p *progress) tick() {
+	if p == nil {
+		return
+	}
+	d := int(p.done.Add(1))
+	if d >= p.total {
+		p.fn(d, p.total)
+		return
+	}
+	now := time.Now().UnixNano()
+	last := p.last.Load()
+	if now-last < int64(MinProgressInterval) {
+		return
+	}
+	// One CAS elects a single reporter per window; losers fall through
+	// without blocking.
+	if p.last.CompareAndSwap(last, now) {
+		p.fn(d, p.total)
+	}
+}
 
 // Workers resolves a worker-count request: values <= 0 mean "one worker
 // per available CPU" (runtime.GOMAXPROCS), and the count is never more
@@ -51,6 +123,15 @@ func Workers(requested, n int) int {
 // are discarded. fn must be safe for concurrent invocation when
 // workers > 1.
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapProgress(ctx, workers, n, nil, fn)
+}
+
+// MapProgress is Map with completion reporting: after each successful
+// task, progress (when non-nil) may be invoked with the number of
+// completed tasks, rate-bounded to one call per MinProgressInterval
+// plus a guaranteed final (n, n) call — see ProgressFunc for the
+// delivery contract. No progress is reported for a failed run.
+func MapProgress[T any](ctx context.Context, workers, n int, progressFn ProgressFunc, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -59,6 +140,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	}
 	out := make([]T, n)
 	workers = Workers(workers, n)
+	prog := newProgress(progressFn, n)
 	if workers == 1 {
 		// Serial fast path: identical semantics, no goroutine overhead.
 		for i := 0; i < n; i++ {
@@ -70,6 +152,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				return nil, err
 			}
 			out[i] = v
+			prog.tick()
 		}
 		return out, nil
 	}
@@ -100,6 +183,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 					return
 				}
 				out[i] = v
+				prog.tick()
 			}
 		}()
 	}
@@ -119,7 +203,12 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 // ForEach runs fn(ctx, i) for every i in [0, n) on a bounded pool, with
 // the same ordering, error, and cancellation guarantees as Map.
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
-	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+	return ForEachProgress(ctx, workers, n, nil, fn)
+}
+
+// ForEachProgress is ForEach with MapProgress's completion reporting.
+func ForEachProgress(ctx context.Context, workers, n int, progressFn ProgressFunc, fn func(ctx context.Context, i int) error) error {
+	_, err := MapProgress(ctx, workers, n, progressFn, func(ctx context.Context, i int) (struct{}, error) {
 		return struct{}{}, fn(ctx, i)
 	})
 	return err

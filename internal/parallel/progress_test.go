@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A batch of instant tasks must produce O(runtime/interval) callbacks,
+// not O(tasks): with everything finishing well inside one window, only
+// the guaranteed final call fires.
+func TestProgressRateBounded(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var calls atomic.Int64
+		_, err := MapProgress(context.Background(), workers, 500, func(done, total int) {
+			calls.Add(1)
+		}, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 500 instant tasks complete far inside MinProgressInterval; at
+		// most the final call plus one window claim can land.
+		if c := calls.Load(); c < 1 || c > 2 {
+			t.Fatalf("workers=%d: %d calls for 500 instant tasks, want 1..2", workers, c)
+		}
+	}
+}
+
+// The final (total, total) call is delivered exactly once. The
+// contract allows out-of-order done values, so the check renders
+// max(done) as documented rather than asserting call order.
+func TestProgressFinalCallExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var finals, maxDone int
+		_, err := MapProgress(context.Background(), workers, 37, func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done == total {
+				finals++
+			}
+			if done > maxDone {
+				maxDone = done
+			}
+			if total != 37 {
+				t.Errorf("total = %d, want 37", total)
+			}
+		}, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if finals != 1 {
+			t.Fatalf("workers=%d: final call delivered %d times", workers, finals)
+		}
+		if maxDone != 37 {
+			t.Fatalf("workers=%d: max done %d, want 37", workers, maxDone)
+		}
+	}
+}
+
+// Intermediate callbacks respect MinProgressInterval spacing; the final
+// call is exempt.
+func TestProgressIntervalSpacing(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	var dones []int
+	_, err := MapProgress(context.Background(), 2, 8, func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		times = append(times, time.Now())
+		dones = append(dones, done)
+	}, func(_ context.Context, i int) (int, error) {
+		time.Sleep(60 * time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8×60ms on 2 workers ≈ 240ms: at least one intermediate window
+	// opens before the final call.
+	if len(times) < 2 {
+		t.Fatalf("expected intermediate progress, got %d calls (%v)", len(times), dones)
+	}
+	// The claim times are >= MinProgressInterval apart; the callback
+	// timestamps observed here can jitter a few ms under scheduling.
+	const slack = 10 * time.Millisecond
+	for i := 1; i < len(times)-1; i++ {
+		if gap := times[i].Sub(times[i-1]); gap < MinProgressInterval-slack {
+			t.Fatalf("intermediate calls %d and %d only %v apart", i-1, i, gap)
+		}
+	}
+}
+
+// No (n, n) completion signal may be delivered for a failed run.
+func TestProgressNoFinalOnFailure(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var sawFinal atomic.Bool
+		_, err := MapProgress(context.Background(), workers, 20, func(done, total int) {
+			if done >= total {
+				sawFinal.Store(true)
+			}
+		}, func(_ context.Context, i int) (int, error) {
+			if i == 10 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if sawFinal.Load() {
+			t.Fatalf("workers=%d: completion reported for a failed run", workers)
+		}
+	}
+}
+
+// A nil ProgressFunc must cost nothing and change nothing.
+func TestProgressNilFunc(t *testing.T) {
+	got, err := MapProgress(context.Background(), 4, 10, nil, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d", i, v)
+		}
+	}
+}
+
+// ForEachProgress shares Map's delivery contract.
+func TestForEachProgressFinalCall(t *testing.T) {
+	var finals atomic.Int64
+	err := ForEachProgress(context.Background(), 3, 25, func(done, total int) {
+		if done == total && total == 25 {
+			finals.Add(1)
+		}
+	}, func(_ context.Context, i int) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finals.Load() != 1 {
+		t.Fatalf("final call delivered %d times", finals.Load())
+	}
+}

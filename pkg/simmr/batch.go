@@ -11,9 +11,11 @@ import (
 
 // ReplaySpec is one unit of a ReplayBatch: a trace replayed under a
 // policy and engine configuration. The zero-value Config means
-// DefaultReplayConfig; a nil Policy means FIFO. Traces may be shared
-// between specs (and with the caller) — the engine treats them as
-// read-only.
+// DefaultReplayConfig (Config.Sink may be set on an otherwise-zero
+// Config without losing the defaults); a nil Policy means FIFO. Traces
+// may be shared between specs (and with the caller) — the engine
+// treats them as read-only. Config.Sink must NOT be shared between
+// specs: sinks are single-goroutine, one per engine (obs.Sink).
 type ReplaySpec struct {
 	// Name labels the spec in error messages; defaults to the trace name.
 	Name   string
@@ -37,17 +39,30 @@ func ReplayBatch(specs []ReplaySpec) ([]*ReplayResult, error) {
 // ReplayBatchCtx is ReplayBatch with an explicit worker bound
 // (0 = one per CPU, 1 = serial) and cancellation.
 func ReplayBatchCtx(ctx context.Context, workers int, specs []ReplaySpec) ([]*ReplayResult, error) {
+	return ReplayBatchProgress(ctx, workers, nil, specs)
+}
+
+// ReplayBatchProgress is ReplayBatchCtx with bounded-rate completion
+// reporting: progress (when non-nil) receives (done specs, total
+// specs) callbacks from the worker pool under the parallel package's
+// rate-limit contract.
+func ReplayBatchProgress(ctx context.Context, workers int, progress ProgressFunc, specs []ReplaySpec) ([]*ReplayResult, error) {
 	for i := range specs {
 		if specs[i].Trace == nil || len(specs[i].Trace.Jobs) == 0 {
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(&specs[i]), ErrEmptyWorkload)
 		}
 	}
-	return parallel.Map(ctx, workers, len(specs), func(_ context.Context, i int) (*ReplayResult, error) {
+	return parallel.MapProgress(ctx, workers, len(specs), progress, func(_ context.Context, i int) (*ReplayResult, error) {
 		spec := &specs[i]
 		cfg := spec.Config
+		// A spec that only sets an observability sink still gets the
+		// default cluster configuration.
+		sink := cfg.Sink
+		cfg.Sink = nil
 		if cfg == (ReplayConfig{}) {
 			cfg = engine.DefaultConfig()
 		}
+		cfg.Sink = sink
 		policy := spec.Policy
 		if policy == nil {
 			policy = sched.FIFO{}

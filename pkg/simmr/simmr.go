@@ -30,6 +30,7 @@ import (
 	"simmr/internal/hadooplog"
 	"simmr/internal/model"
 	"simmr/internal/mumak"
+	"simmr/internal/obs"
 	"simmr/internal/profiler"
 	"simmr/internal/sched"
 	"simmr/internal/stats"
@@ -69,6 +70,48 @@ type (
 	// JobOutcome is one replayed job's completion record.
 	JobOutcome = engine.JobOutcome
 )
+
+// Observability types (DESIGN.md §8): set ReplayConfig.Sink to receive
+// the engine's typed event stream. A nil sink costs nothing; each
+// concurrent engine needs its own sink instance (see SinkFactory).
+type (
+	// Sink receives typed engine events in handled order.
+	Sink = obs.Sink
+	// SinkFactory builds one sink per concurrent engine.
+	SinkFactory = obs.SinkFactory
+	// EngineEvent is one observed engine decision.
+	EngineEvent = obs.Event
+	// EngineEventKind enumerates the event taxonomy (the paper's seven
+	// §III-B event types plus slot and shuffle-patch internals).
+	EngineEventKind = obs.Kind
+	// RunCounters are the run-level totals delivered at Sink.RunEnd.
+	RunCounters = obs.Counters
+	// RecordSink captures the raw event stream in memory.
+	RecordSink = obs.RecordSink
+	// TimelineSink reconstructs a per-slot occupancy timeline
+	// (Figure 1/2-style task-progress data).
+	TimelineSink = obs.TimelineSink
+	// ChromeTraceSink exports a replay as Chrome trace-event JSON for
+	// chrome://tracing / Perfetto.
+	ChromeTraceSink = obs.ChromeTraceSink
+	// MetricsSink tallies concurrency-safe counter snapshots (the
+	// cmd/simmr --debug-addr expvar endpoint reads one).
+	MetricsSink = obs.MetricsSink
+	// SlotSpan is one task execution pinned to a concrete slot.
+	SlotSpan = obs.SlotSpan
+)
+
+// NewTimelineSink returns a slot-occupancy timeline recorder.
+func NewTimelineSink() *TimelineSink { return obs.NewTimelineSink() }
+
+// NewChromeTraceSink returns a Chrome trace-event recorder.
+func NewChromeTraceSink() *ChromeTraceSink { return obs.NewChromeTraceSink() }
+
+// NewMetricsSink returns a concurrency-safe metrics recorder.
+func NewMetricsSink() *MetricsSink { return obs.NewMetricsSink() }
+
+// TeeSinks combines sinks into one that forwards every event to each.
+func TeeSinks(sinks ...Sink) Sink { return obs.Tee(sinks...) }
 
 // Locality levels of emulated map tasks (node-local / rack-local /
 // off-rack).

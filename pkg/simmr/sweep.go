@@ -6,9 +6,17 @@ import (
 	"fmt"
 
 	"simmr/internal/engine"
+	"simmr/internal/obs"
 	"simmr/internal/parallel"
 	"simmr/internal/sched"
 )
+
+// ProgressFunc receives bounded-rate completion callbacks from the
+// worker pool: done grid cells (or batch specs) out of total. See
+// parallel.ProgressFunc for the delivery contract — calls are at least
+// parallel.MinProgressInterval apart (final call excepted), may arrive
+// concurrently from worker goroutines, and never serialize the pool.
+type ProgressFunc = parallel.ProgressFunc
 
 // ErrEmptyWorkload is returned by CapacitySweep and ReplayBatch when
 // asked to simulate a workload with no jobs: every per-job statistic
@@ -46,6 +54,14 @@ type SweepConfig struct {
 	// one worker per CPU, 1 forces the serial path. Results are in grid
 	// order and identical regardless of the worker count.
 	Workers int
+	// Progress, when set, receives bounded-rate completion callbacks
+	// (done cells, total cells) while the sweep runs.
+	Progress ProgressFunc
+	// SinkFactory, when set, builds one observability sink per grid
+	// cell (called from the worker goroutine, so it must be safe for
+	// concurrent calls); each cell's engine gets its own sink, keeping
+	// sinks single-goroutine as obs.Sink requires.
+	SinkFactory func(mapSlots, reduceSlots int) obs.Sink
 }
 
 // sweepCell is one (map slots, reduce slots) grid position.
@@ -101,13 +117,17 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		}
 	}
 
-	return parallel.Map(ctx, cfg.Workers, len(cells), func(_ context.Context, i int) (SweepPoint, error) {
+	return parallel.MapProgress(ctx, cfg.Workers, len(cells), cfg.Progress, func(_ context.Context, i int) (SweepPoint, error) {
 		c := cells[i]
-		res, err := engine.Run(engine.Config{
+		ecfg := engine.Config{
 			MapSlots:               c.m,
 			ReduceSlots:            c.r,
 			MinMapPercentCompleted: slowstart,
-		}, tr, newPolicy())
+		}
+		if cfg.SinkFactory != nil {
+			ecfg.Sink = cfg.SinkFactory(c.m, c.r)
+		}
+		res, err := engine.Run(ecfg, tr, newPolicy())
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("simmr: sweep at %d+%d slots: %w", c.m, c.r, err)
 		}

@@ -22,8 +22,9 @@ bench:
 	$(GO) run ./cmd/benchreport -o BENCH_engine.json
 
 # bench-guard reruns the replay benchmark and fails if allocations per
-# replay regressed more than 5% against BENCH_engine.json (or
-# throughput collapsed). Keeps the disabled observability path free.
+# replay regressed more than 5% or events/sec dropped more than 10%
+# against BENCH_engine.json. Keeps the pooled replay hot path fast and
+# the disabled observability path free.
 bench-guard:
 	$(GO) run ./cmd/benchreport -guard -o BENCH_engine.json
 

@@ -6,8 +6,10 @@
 // With -guard, benchreport instead reruns the replay benchmark and
 // compares it against an existing baseline, exiting nonzero if
 // allocations per replay regressed beyond benchkit.AllocTolerance or
-// throughput collapsed — `make bench-guard` is the usual entry point,
-// and the check that keeps the no-sink observability path free.
+// events/sec dropped below benchkit.ThroughputFloor (>10% regression)
+// — `make bench-guard` is the usual entry point, and the check that
+// keeps the pooled replay hot path fast and the no-sink observability
+// path free.
 package main
 
 import (
@@ -53,7 +55,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sweep %.3fs serial / %.3fs parallel (%.2fx on %d cores)\n",
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)\n",
 		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
-		m.SweepSerialSeconds, m.SweepParallelSeconds, m.SweepSpeedup, m.GoMaxProcs)
+		m.SweepSerialSeconds, m.SweepParallelSeconds, m.NumCPU, m.SweepSpeedup)
 }

@@ -1,0 +1,214 @@
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap are a reference priority queue built on
+// container/heap with the exact ordering contract the specialized
+// 4-ary heap must preserve: ascending (Time, seq). The differential
+// tests drive both implementations with identical operation schedules
+// and require identical pop sequences — the property that keeps
+// replays byte-identical across queue implementations.
+type refEvent struct {
+	time  Time
+	seq   uint64
+	id    int
+	index int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// refQueue pairs the reference heap with the same seq discipline as
+// EventQueue.
+type refQueue struct {
+	h       refHeap
+	nextSeq uint64
+}
+
+func (q *refQueue) push(t Time, id int) *refEvent {
+	e := &refEvent{time: t, seq: q.nextSeq, id: id}
+	q.nextSeq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+func (q *refQueue) pop() *refEvent {
+	return heap.Pop(&q.h).(*refEvent)
+}
+
+func (q *refQueue) update(e *refEvent, t Time) {
+	e.time = t
+	heap.Fix(&q.h, e.index)
+}
+
+func (q *refQueue) remove(e *refEvent) {
+	heap.Remove(&q.h, e.index)
+}
+
+// livePair tracks one event in both queues so updates and removals hit
+// the same logical event on each side.
+type livePair struct {
+	e *Event
+	r *refEvent
+}
+
+// runDifferentialSchedule drives both queues with an operation schedule
+// derived from the byte stream and fails on the first divergence. Each
+// byte selects an operation; times are drawn from the rng seeded by the
+// schedule length to keep the schedule itself compact.
+func runDifferentialSchedule(t *testing.T, ops []byte) {
+	t.Helper()
+	var q EventQueue
+	var ref refQueue
+	rng := rand.New(rand.NewSource(int64(len(ops)) + 1))
+	var live []livePair
+	id := 0
+
+	for opIdx, op := range ops {
+		switch op % 4 {
+		case 0: // push
+			tm := Time(rng.Intn(64)) // small domain: many exact ties
+			e := q.Push(tm, 0, id, nil)
+			r := ref.push(tm, id)
+			live = append(live, livePair{e, r})
+			id++
+		case 1: // pop
+			if q.Len() == 0 {
+				continue
+			}
+			e := q.Pop()
+			r := ref.pop()
+			if e.Time != r.time || e.JobID != r.id || e.seq != r.seq {
+				t.Fatalf("op %d: pop diverged: 4-ary (t=%v id=%d seq=%d) vs reference (t=%v id=%d seq=%d)",
+					opIdx, e.Time, e.JobID, e.seq, r.time, r.id, r.seq)
+			}
+			// Drop the popped pair from live before recycling e: a later
+			// Push may reuse the *Event, and the stale pair must not let
+			// an update/remove hit the recycled event with an old partner.
+			for i := range live {
+				if live[i].e == e {
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					break
+				}
+			}
+			q.Free(e)
+		case 2: // update a random live event
+			if len(live) == 0 {
+				continue
+			}
+			p := live[rng.Intn(len(live))]
+			if !p.e.Scheduled() {
+				continue
+			}
+			tm := Time(rng.Intn(64))
+			q.Update(p.e, tm)
+			ref.update(p.r, tm)
+		case 3: // remove a random live event
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			p := live[i]
+			if !p.e.Scheduled() {
+				continue
+			}
+			q.Remove(p.e)
+			ref.remove(p.r)
+			q.Free(p.e)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if q.Len() != len(ref.h) {
+			t.Fatalf("op %d: length diverged: %d vs %d", opIdx, q.Len(), len(ref.h))
+		}
+	}
+	// Drain both completely: the full remaining pop sequence must match.
+	for q.Len() > 0 {
+		e := q.Pop()
+		r := ref.pop()
+		if e.Time != r.time || e.JobID != r.id || e.seq != r.seq {
+			t.Fatalf("drain: pop diverged: 4-ary (t=%v id=%d seq=%d) vs reference (t=%v id=%d seq=%d)",
+				e.Time, e.JobID, e.seq, r.time, r.id, r.seq)
+		}
+	}
+	if len(ref.h) != 0 {
+		t.Fatalf("reference still holds %d events after drain", len(ref.h))
+	}
+}
+
+// TestQueueDifferentialRandomSchedules is the fuzz-style property test:
+// many random schedules, each checked against the reference heap.
+func TestQueueDifferentialRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(2000)
+		ops := make([]byte, n)
+		rng.Read(ops)
+		runDifferentialSchedule(t, ops)
+	}
+}
+
+// TestQueueDifferentialPushHeavy biases toward pushes so the heap
+// reaches realistic engine high-water populations (hundreds of pending
+// events) before draining.
+func TestQueueDifferentialPushHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		ops := make([]byte, 3000)
+		for i := range ops {
+			// 0,4,... ≡ push under op%4; weight pushes 2:1.
+			if rng.Intn(3) < 2 {
+				ops[i] = 0
+			} else {
+				ops[i] = byte(1 + rng.Intn(3))
+			}
+		}
+		runDifferentialSchedule(t, ops)
+	}
+}
+
+// FuzzEventQueueDifferential hands the schedule to the fuzzer: `go test
+// -fuzz=FuzzEventQueueDifferential ./internal/des` explores op
+// sequences; the seed corpus runs on every plain `go test`.
+func FuzzEventQueueDifferential(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 1, 1})
+	f.Add([]byte{0, 0, 2, 1, 0, 3, 1})
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<16 {
+			t.Skip("schedule too long")
+		}
+		runDifferentialSchedule(t, ops)
+	})
+}

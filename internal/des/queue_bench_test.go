@@ -1,0 +1,61 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEventQueue measures the queue's hot mix — push, pop, and
+// update (the filler-shuffle patch) — at steady live-event populations
+// matching real replays: the engine's heap high-water is roughly
+// cluster slots + queued arrivals, i.e. hundreds to a few thousand
+// pending events. Each iteration performs one pop+free, one push, and
+// (every 8th) one update, so ns/op reads as "cost per event through
+// the queue core".
+func BenchmarkEventQueue(b *testing.B) {
+	for _, population := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("live=%d", population), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			var q EventQueue
+			live := make([]*Event, 0, population)
+			now := 0.0
+			for i := 0; i < population; i++ {
+				live = append(live, q.PushTask(now+rng.Float64()*1000, 0, i, i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := q.Pop()
+				now = e.Time
+				slot := e.Task % population
+				q.Free(e)
+				live[slot] = q.PushTask(now+rng.Float64()*1000, 0, i, slot)
+				if i%8 == 0 {
+					// Patch a pending event the way map-stage completion
+					// patches filler reduces.
+					u := live[(slot+population/2)%population]
+					if u.Scheduled() {
+						q.Update(u, now+rng.Float64()*500)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEventQueuePushPopChurn is the degenerate fill-then-drain
+// cycle: no steady population, maximal sift depth on every pop.
+func BenchmarkEventQueuePushPopChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	var q EventQueue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(rng.Float64()*1e6, 0, i, nil)
+		if q.Len() > 4096 {
+			for q.Len() > 0 {
+				q.Free(q.Pop())
+			}
+		}
+	}
+}

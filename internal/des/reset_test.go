@@ -1,0 +1,142 @@
+package des
+
+import "testing"
+
+// TestResetEmptiesQueue covers the counter half of the reuse contract:
+// a reset queue must be observationally identical to a zero one.
+func TestResetEmptiesQueue(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 10; i++ {
+		q.Push(float64(i), 0, i, "payload")
+	}
+	for i := 0; i < 4; i++ {
+		q.Free(q.Pop())
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	if q.Fired() != 0 {
+		t.Fatalf("Fired after Reset = %d", q.Fired())
+	}
+	if q.HighWater() != 0 {
+		t.Fatalf("HighWater after Reset = %d", q.HighWater())
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek after Reset should be nil")
+	}
+}
+
+// TestResetRestartsSequence locks in nextSeq rewinding: FIFO order among
+// equal-time events must be insertion order of the *new* run, which can
+// only hold if the tie-break sequence restarts at zero. (A leaked seq
+// would not break ordering, but it would break the "reused queue is
+// indistinguishable from new" contract this test pins down.)
+func TestResetRestartsSequence(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 50; i++ {
+		q.Push(1.0, 0, i, nil)
+	}
+	q.Reset()
+	for i := 0; i < 50; i++ {
+		q.Push(2.0, 0, 100+i, nil)
+	}
+	first := q.Pop()
+	if first.seq != 0 {
+		t.Fatalf("first event of the new run has seq %d, want 0", first.seq)
+	}
+	if first.JobID != 100 {
+		t.Fatalf("FIFO order broken after Reset: got job %d first", first.JobID)
+	}
+}
+
+// TestResetRecyclesPendingEvents covers the slab half of the contract:
+// events pending at Reset go to the free list, so the next run reuses
+// their memory instead of growing the slab.
+func TestResetRecyclesPendingEvents(t *testing.T) {
+	var q EventQueue
+	old := make(map[*Event]bool)
+	for i := 0; i < 20; i++ {
+		old[q.Push(float64(i), 0, i, nil)] = true
+	}
+	q.Reset()
+	recycled := 0
+	for i := 0; i < 20; i++ {
+		if old[q.Push(float64(i), 0, i, nil)] {
+			recycled++
+		}
+	}
+	if recycled != 20 {
+		t.Fatalf("only %d/20 events recycled through the free list after Reset", recycled)
+	}
+}
+
+// TestResetKeepsExplicitlyFreedEvents: events Free'd before the Reset
+// stay on the free list and serve the next run too.
+func TestResetKeepsExplicitlyFreedEvents(t *testing.T) {
+	var q EventQueue
+	e := q.Push(1.0, 0, 0, nil)
+	q.Pop()
+	q.Free(e)
+	q.Reset()
+	if got := q.Push(2.0, 0, 1, nil); got != e {
+		t.Fatal("pre-Reset freed event not reused after Reset")
+	}
+}
+
+// TestResetClearsPayloads: pending events' payloads must not leak into
+// (stay reachable through) the next run's free list.
+func TestResetDropsPayloadReferences(t *testing.T) {
+	var q EventQueue
+	payload := &struct{ big [64]byte }{}
+	e := q.Push(1.0, 0, 0, payload)
+	q.Reset()
+	if e.Payload != nil {
+		t.Fatal("Reset left a payload reference on a recycled event")
+	}
+	if e.index != freedIndex {
+		t.Fatalf("recycled event index = %d, want freedIndex", e.index)
+	}
+}
+
+// TestResetZeroQueue: Reset on a zero-value or drained queue is a no-op.
+func TestResetZeroQueue(t *testing.T) {
+	var q EventQueue
+	q.Reset()
+	q.Push(1.0, 0, 0, nil)
+	q.Free(q.Pop())
+	q.Reset()
+	q.Reset()
+	if q.Len() != 0 || q.Fired() != 0 {
+		t.Fatal("repeated Reset corrupted the queue")
+	}
+}
+
+// TestReuseAcrossManyRuns drives several full drain cycles through one
+// queue and checks steady-state behavior: after the first run, the
+// live-event population is served entirely from recycled memory.
+func TestReuseAcrossManyRuns(t *testing.T) {
+	var q EventQueue
+	const n = 100 // well below one slabChunk
+	for run := 0; run < 5; run++ {
+		for i := 0; i < n; i++ {
+			q.Push(float64((i*7)%n), 0, i, nil)
+		}
+		prev := -1.0
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < prev {
+				t.Fatalf("run %d: order violated: %v after %v", run, e.Time, prev)
+			}
+			prev = e.Time
+			q.Free(e)
+		}
+		if q.Fired() != n {
+			t.Fatalf("run %d: fired %d, want %d", run, q.Fired(), n)
+		}
+		q.Reset()
+		if len(q.free) < n {
+			t.Fatalf("run %d: free list holds %d events, want >= %d", run, len(q.free), n)
+		}
+	}
+}

@@ -26,6 +26,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"simmr/internal/des"
 	"simmr/internal/obs"
@@ -193,7 +194,9 @@ type simJob struct {
 	departed      bool
 }
 
-// Engine replays one trace. Build with New, call Run once.
+// Engine replays one trace. Build with New, call Run once; Reset
+// re-arms a used engine for another run while retaining its warmed
+// allocations (see Reset).
 //
 // The engine never mutates the trace or its templates: every piece of
 // mutable per-job replay state lives in engine-local simJob slots, so
@@ -206,7 +209,8 @@ type Engine struct {
 	q     des.EventQueue
 
 	// jobs is a single contiguous slab; pointers into it (sj.info) stay
-	// valid because it is fully sized in New and never reallocated.
+	// valid because it is fully sized in Reset and never reallocated
+	// during a run.
 	jobs    []simJob
 	indexOf map[int]int // job ID -> index in jobs; nil when IDs are dense
 	active  []*sched.JobInfo
@@ -214,6 +218,7 @@ type Engine struct {
 	freeMap    int
 	freeReduce int
 	remaining  int
+	ran        bool // Run consumed this arming; Reset re-arms
 
 	// sink mirrors cfg.Sink; every emission is guarded by a nil check
 	// so the disabled path stays allocation- and branch-cheap.
@@ -230,27 +235,65 @@ type Engine struct {
 // and never modified — neither here nor during Run — so callers may
 // share one trace across concurrent engines.
 func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	e := &Engine{}
+	if err := e.Reset(cfg, tr, policy); err != nil {
 		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-initializes the engine in place for a fresh run under a new
+// (or identical) configuration, trace, and policy — the engine-reuse
+// contract behind Pool. Everything observable is cleared: the clock,
+// the event queue's counters and pending events, all per-job replay
+// state, the active set, and the run counters; a reset engine produces
+// byte-identical Results to a newly built one. What is *retained* is
+// warmed capacity: the event queue's slab and free list, the jobs slab,
+// the active slice, the ID-dispatch map, and per-job retry/filler
+// scratch slices, so steady-state reuse allocates only the per-run
+// outputs (Result, outcomes, spans) instead of rebuilding the engine's
+// working set from scratch.
+func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if policy == nil {
-		return nil, fmt.Errorf("engine: nil policy")
+		return fmt.Errorf("engine: nil policy")
 	}
 	if err := tr.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	e := &Engine{
-		cfg:        cfg,
-		policy:     policy,
-		jobs:       make([]simJob, len(tr.Jobs)),
-		active:     make([]*sched.JobInfo, 0, len(tr.Jobs)),
-		freeMap:    cfg.MapSlots,
-		freeReduce: cfg.ReduceSlots,
-		remaining:  len(tr.Jobs),
-		sink:       cfg.Sink,
+	n := len(tr.Jobs)
+	e.cfg = cfg
+	e.policy = policy
+	e.sink = cfg.Sink
+	e.clock.Reset()
+	e.q.Reset()
+	if cap(e.jobs) >= n {
+		// Zero any tail beyond the new job count so a pooled engine does
+		// not pin templates (whole traces) from a previous, larger run.
+		for i := n; i < len(e.jobs); i++ {
+			e.jobs[i] = simJob{}
+		}
+		e.jobs = e.jobs[:n]
+	} else {
+		e.jobs = make([]simJob, n)
 	}
+	if cap(e.active) >= n {
+		e.active = e.active[:0]
+	} else {
+		e.active = make([]*sched.JobInfo, 0, n)
+	}
+	e.freeMap = cfg.MapSlots
+	e.freeReduce = cfg.ReduceSlots
+	e.remaining = n
+	e.ran = false
+	e.preemptions = 0
+	e.fillerPatches = 0
+	e.mapSlotAllocs = 0
+	e.reduceSlotAllocs = 0
 	// Normalized traces carry dense IDs 0..n-1; dispatch on a slice
-	// index then, avoiding the map (and its per-run allocation).
+	// index then, avoiding the map (and its per-run fill).
 	dense := true
 	for i, j := range tr.Jobs {
 		if j.ID != i {
@@ -258,12 +301,16 @@ func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 			break
 		}
 	}
-	if !dense {
-		e.indexOf = make(map[int]int, len(tr.Jobs))
+	if dense {
+		e.indexOf = nil
+	} else if e.indexOf == nil {
+		e.indexOf = make(map[int]int, n)
+	} else {
+		clear(e.indexOf)
 	}
 	for i, j := range tr.Jobs {
 		if j.Template.NumReduces > 0 && cfg.ReduceSlots == 0 {
-			return nil, fmt.Errorf("engine: job %d needs reduce slots but cluster has none", j.ID)
+			return fmt.Errorf("engine: job %d needs reduce slots but cluster has none", j.ID)
 		}
 		slowstart := int(float64(j.Template.NumMaps)*cfg.MinMapPercentCompleted + 0.9999)
 		if slowstart < 1 {
@@ -277,13 +324,28 @@ func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 			Profile: j.Template.Profile(),
 		}
 		sj.tpl = j.Template
+		// The previous run's outcome (and its span slices) escaped into
+		// that run's Result, so the outcome is rebuilt, never recycled.
 		sj.out = JobOutcome{
 			ID: j.ID, Name: j.Name,
 			Arrival: j.Arrival, Deadline: j.Deadline,
 		}
+		sj.nextMap = 0
+		sj.nextReduce = 0
+		sj.firstWave = 0
+		sj.typicalWave = 0
 		sj.slowstartMin = slowstart
-		if cfg.PreemptMapTasks {
+		sj.retryMaps = sj.retryMaps[:0]
+		sj.fillers = sj.fillers[:0]
+		sj.mapStageEvent = false
+		sj.departed = false
+		switch {
+		case !cfg.PreemptMapTasks:
+			sj.runningMaps = nil
+		case sj.runningMaps == nil:
 			sj.runningMaps = make(map[int]*des.Event)
+		default:
+			clear(sj.runningMaps)
 		}
 		if cfg.RecordSpans {
 			sj.out.MapSpans = make([]Span, j.Template.NumMaps)
@@ -293,7 +355,7 @@ func New(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 			e.indexOf[j.ID] = i
 		}
 	}
-	return e, nil
+	return nil
 }
 
 // jobByID resolves an event's job ID to its engine-local state.
@@ -304,8 +366,14 @@ func (e *Engine) jobByID(id int) *simJob {
 	return &e.jobs[e.indexOf[id]]
 }
 
-// Run replays the trace to completion.
+// Run replays the trace to completion. Each New or Reset arms exactly
+// one Run; running twice without a Reset in between would replay on
+// dirty state and is rejected.
 func (e *Engine) Run() (*Result, error) {
+	if e.ran {
+		return nil, fmt.Errorf("engine: Run called twice without Reset")
+	}
+	e.ran = true
 	for i := range e.jobs {
 		sj := &e.jobs[i]
 		e.q.Push(sj.info.Arrival, evJobArrival, sj.info.ID, nil)
@@ -679,4 +747,54 @@ func Run(cfg Config, tr *trace.Trace, policy sched.Policy) (*Result, error) {
 		return nil, err
 	}
 	return e.Run()
+}
+
+// Pool caches engines for reuse across runs. A grid workload (capacity
+// sweep, replay batch, deadline sweep) that replays hundreds of cells
+// holds roughly one engine per worker goroutine instead of building —
+// and garbage-collecting — one engine per cell: the queue slab, free
+// list, jobs slab, and scratch slices all carry over through Reset.
+//
+// The zero value is ready to use, and a Pool is safe for concurrent
+// use (it wraps sync.Pool, so idle engines are dropped under GC
+// pressure and the steady-state population tracks GOMAXPROCS).
+// Determinism is unaffected: a reset engine is observationally
+// identical to a fresh one, so pooled results stay byte-identical to
+// unpooled runs.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns an engine armed for (cfg, tr, policy): a reused engine
+// when one is idle in the pool, a newly built one otherwise.
+func (p *Pool) Get(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
+	if v := p.p.Get(); v != nil {
+		e := v.(*Engine)
+		if err := e.Reset(cfg, tr, policy); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return New(cfg, tr, policy)
+}
+
+// Put returns an engine to the pool. The caller must not use it
+// afterwards; the next Get may hand it to another goroutine.
+func (p *Pool) Put(e *Engine) {
+	if e != nil {
+		p.p.Put(e)
+	}
+}
+
+// Run replays tr on a pooled engine: Get, Run, Put. The engine is
+// returned to the pool even after a failed run — Reset re-arms it
+// completely, so an engine carries no state out of an aborted replay.
+func (p *Pool) Run(cfg Config, tr *trace.Trace, policy sched.Policy) (*Result, error) {
+	e, err := p.Get(cfg, tr, policy)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run()
+	p.Put(e)
+	return res, err
 }

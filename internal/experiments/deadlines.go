@@ -191,6 +191,9 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 		}
 	}
 	engCfg := EngineConfig()
+	// A paper-scale sweep is 18 cells × 400 repetitions × 2 policies =
+	// 14,400 replays; pooling holds that to ~one engine per worker.
+	var pool engine.Pool
 	points, err := parallel.MapProgress(context.Background(), 0, len(cells), cfg.Progress,
 		func(_ context.Context, i int) (DeadlineSweepPoint, error) {
 			c := cells[i]
@@ -201,11 +204,11 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 				assignDeadlines(tr, baselines, c.df, rng)
 				tr.Normalize()
 
-				maxVal, err := runUtility(engCfg, tr, sched.MaxEDF{})
+				maxVal, err := runUtility(&pool, engCfg, tr, sched.MaxEDF{})
 				if err != nil {
 					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MaxEDF: %w", name, err)
 				}
-				minVal, err := runUtility(engCfg, tr, sched.MinEDF{})
+				minVal, err := runUtility(&pool, engCfg, tr, sched.MinEDF{})
 				if err != nil {
 					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MinEDF: %w", name, err)
 				}
@@ -237,11 +240,11 @@ func assignDeadlines(tr *trace.Trace, baselines []float64, df float64, rng *rand
 	}
 }
 
-// runUtility replays the trace with the policy and evaluates the
+// runUtility replays the trace on a pooled engine and evaluates the
 // relative-deadline-exceeded utility. The engine treats the trace as
 // read-only, so back-to-back replays need no clone.
-func runUtility(cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
-	res, err := engine.Run(cfg, tr, policy)
+func runUtility(pool *engine.Pool, cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
+	res, err := pool.Run(cfg, tr, policy)
 	if err != nil {
 		return 0, err
 	}

@@ -47,6 +47,7 @@ func AblationPreemption(repetitions int, seed int64) (*PreemptionResult, error) 
 	// workloads, and the pool templates are shared read-only.
 	rates := []float64{10, 100, 1000}
 	variants := []bool{false, true}
+	var engines engine.Pool
 	utils, err := parallel.Map(context.Background(), 0, len(rates)*len(variants),
 		func(_ context.Context, i int) (float64, error) {
 			meanIA := rates[i/len(variants)]
@@ -66,7 +67,7 @@ func AblationPreemption(repetitions int, seed int64) (*PreemptionResult, error) 
 				}
 				assignDeadlines(tr, tjs, 1, rng) // df = 1: the bump regime
 				tr.Normalize()
-				util, err := runUtilityWith(cfg, tr, sched.MaxEDF{})
+				util, err := runUtilityWith(&engines, cfg, tr, sched.MaxEDF{})
 				if err != nil {
 					return 0, err
 				}
@@ -90,8 +91,8 @@ func AblationPreemption(repetitions int, seed int64) (*PreemptionResult, error) 
 
 // runUtilityWith is runUtility with an explicit engine configuration.
 // The engine treats the trace as read-only; no clone is needed.
-func runUtilityWith(cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
-	res, err := engine.Run(cfg, tr, policy)
+func runUtilityWith(engines *engine.Pool, cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
+	res, err := engines.Run(cfg, tr, policy)
 	if err != nil {
 		return 0, err
 	}

@@ -20,8 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"simmr/internal/stats"
+	"sync/atomic"
 )
 
 // Template is the paper's job template: the per-phase task duration
@@ -46,6 +45,15 @@ type Template struct {
 	// "easily extendable" metrics of §IV-A. Replay ignores them; they
 	// exist for workload analysis and trace scaling.
 	Counters map[string]float64 `json:"counters,omitempty"`
+
+	// profile caches the computed Profile. Engines derive the profile of
+	// every job on construction, so without the cache a template shared
+	// by a 400-cell sweep pays the derivation (formerly including a
+	// quantile sort the profile doesn't even use) once per cell instead
+	// of once. Atomic because concurrent engines share templates
+	// read-only; racing writers store identical values. Callers must not
+	// mutate duration slices after the first Profile call.
+	profile atomic.Pointer[Profile]
 }
 
 // Validate checks the template's internal consistency.
@@ -93,27 +101,40 @@ type Profile struct {
 	Reduce              PhaseProfile
 }
 
-// Profile computes the compact per-phase profile of the template.
+// Profile returns the compact per-phase profile of the template,
+// computed on first call and cached (safe for concurrent use).
 func (t *Template) Profile() Profile {
-	phase := func(ds []float64) PhaseProfile {
-		s := stats.Summarize(ds)
-		return PhaseProfile{Avg: s.Mean, Max: s.Max}
+	if p := t.profile.Load(); p != nil {
+		return *p
 	}
 	p := Profile{
 		NumMaps:    t.NumMaps,
 		NumReduces: t.NumReduces,
-		Map:        phase(t.MapDurations),
+		Map:        phaseProfile(t.MapDurations),
+		// Zero-length phases keep the zero PhaseProfile.
+		FirstShuffle:   phaseProfile(t.FirstShuffle),
+		TypicalShuffle: phaseProfile(t.TypicalShuffle),
+		Reduce:         phaseProfile(t.ReduceDurations),
 	}
-	if len(t.FirstShuffle) > 0 {
-		p.FirstShuffle = phase(t.FirstShuffle)
-	}
-	if len(t.TypicalShuffle) > 0 {
-		p.TypicalShuffle = phase(t.TypicalShuffle)
-	}
-	if len(t.ReduceDurations) > 0 {
-		p.Reduce = phase(t.ReduceDurations)
-	}
+	t.profile.Store(&p)
 	return p
+}
+
+// phaseProfile computes the (avg, max) invariants of one phase in a
+// single pass — no sort, no intermediate copy.
+func phaseProfile(ds []float64) PhaseProfile {
+	if len(ds) == 0 {
+		return PhaseProfile{}
+	}
+	var sum float64
+	max := math.Inf(-1)
+	for _, d := range ds {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	return PhaseProfile{Avg: sum / float64(len(ds)), Max: max}
 }
 
 // MapDuration returns the duration of the i-th map task, cycling if the
@@ -147,20 +168,27 @@ func cycle(ds []float64, i int) float64 {
 	return ds[i%len(ds)]
 }
 
-// Clone returns a deep copy of the template.
+// Clone returns a deep copy of the template. The profile cache is not
+// carried over: clones are typically taken to mutate durations (e.g.
+// ScaleTemplate), so the copy re-derives its profile on demand.
 func (t *Template) Clone() *Template {
-	c := *t
-	c.MapDurations = append([]float64(nil), t.MapDurations...)
-	c.FirstShuffle = append([]float64(nil), t.FirstShuffle...)
-	c.TypicalShuffle = append([]float64(nil), t.TypicalShuffle...)
-	c.ReduceDurations = append([]float64(nil), t.ReduceDurations...)
+	c := &Template{
+		AppName:         t.AppName,
+		Dataset:         t.Dataset,
+		NumMaps:         t.NumMaps,
+		NumReduces:      t.NumReduces,
+		MapDurations:    append([]float64(nil), t.MapDurations...),
+		FirstShuffle:    append([]float64(nil), t.FirstShuffle...),
+		TypicalShuffle:  append([]float64(nil), t.TypicalShuffle...),
+		ReduceDurations: append([]float64(nil), t.ReduceDurations...),
+	}
 	if t.Counters != nil {
 		c.Counters = make(map[string]float64, len(t.Counters))
 		for k, v := range t.Counters {
 			c.Counters[k] = v
 		}
 	}
-	return &c
+	return c
 }
 
 // Job is one entry of a replayable trace: a template plus the job's

@@ -52,6 +52,9 @@ func ReplayBatchProgress(ctx context.Context, workers int, progress ProgressFunc
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(&specs[i]), ErrEmptyWorkload)
 		}
 	}
+	// Specs share one engine pool: the batch holds ~one engine per
+	// worker regardless of how many specs it replays.
+	var pool engine.Pool
 	return parallel.MapProgress(ctx, workers, len(specs), progress, func(_ context.Context, i int) (*ReplayResult, error) {
 		spec := &specs[i]
 		cfg := spec.Config
@@ -67,7 +70,7 @@ func ReplayBatchProgress(ctx context.Context, workers int, progress ProgressFunc
 		if policy == nil {
 			policy = sched.FIFO{}
 		}
-		res, err := engine.Run(cfg, spec.Trace, policy)
+		res, err := pool.Run(cfg, spec.Trace, policy)
 		if err != nil {
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(spec), err)
 		}

@@ -192,6 +192,16 @@ func Replay(cfg ReplayConfig, tr *Trace, p Policy) (*ReplayResult, error) {
 	return engine.Run(cfg, tr, p)
 }
 
+// ReplayPool caches simulator engines for reuse across replays. A
+// caller replaying many traces back to back (what-if loops, Monte
+// Carlo repetitions, services replaying per-request) calls
+// pool.Run(cfg, tr, policy) instead of Replay and skips rebuilding the
+// engine's working set — event-queue slab, free list, per-job state —
+// on every run. The zero value is ready; safe for concurrent use;
+// results are byte-identical to Replay. CapacitySweep and ReplayBatch
+// pool engines internally already.
+type ReplayPool = engine.Pool
+
 // MumakConfig parameterizes the Mumak-style baseline simulator.
 type MumakConfig = mumak.Config
 

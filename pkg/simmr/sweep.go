@@ -117,6 +117,11 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		}
 	}
 
+	// One engine pool per sweep: concurrent cells reuse ~one engine per
+	// worker (queue slab, free list, per-job state) instead of building
+	// an engine per cell. Reset makes reused engines byte-identical to
+	// fresh ones, so determinism across worker counts is preserved.
+	var pool engine.Pool
 	return parallel.MapProgress(ctx, cfg.Workers, len(cells), cfg.Progress, func(_ context.Context, i int) (SweepPoint, error) {
 		c := cells[i]
 		ecfg := engine.Config{
@@ -127,7 +132,7 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		if cfg.SinkFactory != nil {
 			ecfg.Sink = cfg.SinkFactory(c.m, c.r)
 		}
-		res, err := engine.Run(ecfg, tr, newPolicy())
+		res, err := pool.Run(ecfg, tr, newPolicy())
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("simmr: sweep at %d+%d slots: %w", c.m, c.r, err)
 		}

@@ -8,6 +8,8 @@
 //	experiments                      # everything, paper-scale where feasible
 //	experiments -only fig5,fig6      # a subset
 //	experiments -reps 40             # lighter Figure 7/8 sweeps
+//	experiments -debug-addr :6060    # live /metrics + expvar + pprof
+//	                                 # while the long sweeps run
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"simmr/internal/experiments"
 	"simmr/internal/parallel"
 	"simmr/internal/report"
+	"simmr/internal/telemetry"
 )
 
 type renderer interface {
@@ -45,11 +48,20 @@ func run() error {
 		fig5Runs  = flag.Int("fig5-runs", 3, "executions per application for Figure 5 (paper: 3)")
 		table1Exe = flag.Int("table1-executions", 5, "executions per application for Table I (paper: 5)")
 		fig6Jobs  = flag.Int("fig6-jobs", 1148, "production-trace size for Figure 6 (paper: 1148)")
+		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
+	}
+	var tel *telemetry.SimMetrics
+	if *debugAddr != "" {
+		var err error
+		tel, err = startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
 	}
 	selected := map[string]bool{}
 	if *only != "" {
@@ -77,6 +89,7 @@ func run() error {
 			cfg.Repetitions = *reps
 			cfg.Seed = *seed
 			cfg.Progress = stderrProgress("fig7")
+			cfg.Telemetry = tel
 			return experiments.Figure7(cfg)
 		}},
 		{"fig8", "figure8_deadlines_facebook.tsv", func() (renderer, error) {
@@ -84,6 +97,7 @@ func run() error {
 			cfg.Repetitions = *reps
 			cfg.Seed = *seed
 			cfg.Progress = stderrProgress("fig8")
+			cfg.Telemetry = tel
 			return experiments.Figure8(cfg)
 		}},
 		{"fit", "facebook_fit_map.tsv", func() (renderer, error) { return experiments.FacebookFit("map", 20000, *seed) }},

@@ -11,29 +11,34 @@ import (
 	"simmr/pkg/simmr"
 )
 
-// startDebugServer exposes the run's live metrics and the standard Go
+// startDebugServer exposes the run's live telemetry and the standard Go
 // profiling endpoints on addr for the lifetime of the process:
 //
-//	/debug/vars         expvar JSON, including simmr.metrics (the
-//	                    MetricsSink snapshot — event counts by kind,
-//	                    aggregated run counters)
+//	/metrics            Prometheus text exposition from the sharded
+//	                    telemetry registry (task-duration / completion
+//	                    histograms, event and slot counters, replay
+//	                    wall-time and lifecycle spans)
+//	/debug/vars         expvar JSON, including simmr.metrics (the same
+//	                    registry merged into the legacy snapshot shape)
 //	/debug/pprof/...    net/http/pprof profiles
 //
-// The returned sink must be attached to the replay (Config.Sink or a
-// SinkFactory tee); it is the one concurrency-safe sink, so a single
-// instance can aggregate across parallel engines.
-func startDebugServer(addr string) (*simmr.MetricsSink, error) {
-	sink := simmr.NewMetricsSink()
-	expvar.Publish("simmr.metrics", expvar.Func(sink.ExpvarValue))
+// The returned telemetry must be wired into the replay (Config.Sink via
+// EngineSink, or SweepConfig.Telemetry); it is sharded and lock-free on
+// the hot path, so one instance aggregates any number of concurrent
+// engines without a mutex per event.
+func startDebugServer(addr string) (*simmr.Telemetry, error) {
+	tel := simmr.NewTelemetry()
+	expvar.Publish("simmr.metrics", expvar.Func(tel.ExpvarValue))
+	http.Handle("/metrics", simmr.MetricsHandler(tel))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("debug server: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "simmr: debug endpoint at http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "simmr: debug endpoint at http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", ln.Addr())
 	go func() {
 		// The server lives as long as the process; errors after a clean
 		// exit are expected and ignored.
 		_ = http.Serve(ln, nil)
 	}()
-	return sink, nil
+	return tel, nil
 }

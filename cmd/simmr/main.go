@@ -15,8 +15,9 @@
 //	simmr trace run -trace trace.json -out trace_events.json
 //	      [-slot-timeline slots.tsv] [-policy ...] [-map-slots ...]
 //
-// -debug-addr serves live run metrics (expvar, /debug/vars) and the
-// net/http/pprof profiling endpoints while a replay runs.
+// -debug-addr serves live run telemetry — Prometheus /metrics from the
+// sharded registry, expvar /debug/vars — and the net/http/pprof
+// profiling endpoints while a replay runs.
 package main
 
 import (
@@ -67,7 +68,19 @@ func run() error {
 	)
 	flag.Parse()
 
+	// The debug server comes up before the trace loads so its lifecycle
+	// spans cover the load stage too.
+	var tel *simmr.Telemetry
+	if *debugAddr != "" {
+		var err error
+		tel, err = startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+	}
+	stopLoad := tel.Span("load")
 	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
+	stopLoad()
 	if err != nil {
 		return err
 	}
@@ -75,15 +88,8 @@ func run() error {
 		printInfo(tr)
 		return nil
 	}
-	var metricsSink *simmr.MetricsSink
-	if *debugAddr != "" {
-		metricsSink, err = startDebugServer(*debugAddr)
-		if err != nil {
-			return err
-		}
-	}
 	if *sweep != "" {
-		return runSweep(tr, *sweep, metricsSink)
+		return runSweep(tr, *sweep, tel)
 	}
 	policy, err := policyByName(*policyName, *shares)
 	if err != nil {
@@ -98,13 +104,17 @@ func run() error {
 			MinMapPercentCompleted: *slowstart,
 			RecordSpans:            *timeline != "",
 		}
-		if metricsSink != nil {
-			cfg.Sink = metricsSink
+		if tel != nil {
+			tel.ExpectRuns(1)
+			cfg.Sink = tel.EngineSink()
 		}
+		stopRun := tel.Span("run")
 		res, err := simmr.Replay(cfg, tr, policy)
+		stopRun()
 		if err != nil {
 			return err
 		}
+		defer tel.Span("report")()
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			for _, j := range res.Jobs {
@@ -186,9 +196,10 @@ func writeTimeline(path string, res *simmr.ReplayResult, step float64) error {
 }
 
 // runSweep replays the trace across a grid of square cluster sizes.
-// When a metrics sink is live (-debug-addr), every concurrent cell
-// reports into it — MetricsSink is the one sink safe to share.
-func runSweep(tr *simmr.Trace, spec string, metricsSink *simmr.MetricsSink) error {
+// When telemetry is live (-debug-addr), every concurrent cell reports
+// into the shared sharded registry — each cell's sink writes its own
+// shard, so aggregation costs no mutex per event.
+func runSweep(tr *simmr.Trace, spec string, tel *simmr.Telemetry) error {
 	var counts []int
 	for _, part := range strings.Split(spec, ",") {
 		var n int
@@ -197,14 +208,14 @@ func runSweep(tr *simmr.Trace, spec string, metricsSink *simmr.MetricsSink) erro
 		}
 		counts = append(counts, n)
 	}
-	scfg := simmr.SweepConfig{MapSlotCounts: counts}
-	if metricsSink != nil {
-		scfg.SinkFactory = func(_, _ int) simmr.Sink { return metricsSink }
-	}
+	scfg := simmr.SweepConfig{MapSlotCounts: counts, Telemetry: tel}
+	stopRun := tel.Span("run")
 	points, err := simmr.CapacitySweep(tr, scfg)
+	stopRun()
 	if err != nil {
 		return err
 	}
+	defer tel.Span("report")()
 	fmt.Println("map_slots\treduce_slots\tmakespan_s\tmean_completion_s\tmissed_deadlines")
 	for _, p := range points {
 		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\n",

@@ -28,11 +28,23 @@ func runTraceCmd(args []string) error {
 		slowstart   = fs.Float64("slowstart", 0.05, "fraction of maps completed before reduces launch")
 		out         = fs.String("out", "trace.json", "Chrome trace-event output path")
 		slotTSV     = fs.String("slot-timeline", "", "also write a slot-occupancy TSV (renders via internal/report)")
+		debugAddr   = fs.String("debug-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	var tel *simmr.Telemetry
+	if *debugAddr != "" {
+		var err error
+		tel, err = startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		tel.ExpectRuns(1)
+	}
+	stopLoad := tel.Span("load")
 	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
+	stopLoad()
 	if err != nil {
 		return err
 	}
@@ -48,16 +60,22 @@ func runTraceCmd(args []string) error {
 		tl = simmr.NewTimelineSink()
 		sink = simmr.TeeSinks(ct, tl)
 	}
+	if tel != nil {
+		sink = simmr.TeeSinks(sink, tel.EngineSink())
+	}
 	cfg := simmr.ReplayConfig{
 		MapSlots:               *mapSlots,
 		ReduceSlots:            *reduceSlots,
 		MinMapPercentCompleted: *slowstart,
 		Sink:                   sink,
 	}
+	stopRun := tel.Span("run")
 	res, err := simmr.Replay(cfg, tr, policy)
+	stopRun()
 	if err != nil {
 		return err
 	}
+	defer tel.Span("report")()
 
 	f, err := os.Create(*out)
 	if err != nil {

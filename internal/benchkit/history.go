@@ -1,0 +1,44 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// HistoryRecord is one line of BENCH_history.jsonl — an append-only log
+// of every benchreport run, bench and guard alike. Where
+// BENCH_engine.json is the single mutable baseline the guard compares
+// against, the history is the longitudinal record: plot events/sec over
+// it to see drift that stays inside the guard's tolerance.
+type HistoryRecord struct {
+	Time string `json:"time"` // RFC 3339 UTC
+	Mode string `json:"mode"` // "bench" (baseline rewrite) or "guard"
+	Pass bool   `json:"pass"`
+
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+
+	// Guard runs record what they compared against.
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
+	BaselineAllocsPerOp  int64   `json:"baseline_allocs_per_op,omitempty"`
+	Floor                float64 `json:"floor,omitempty"`
+}
+
+// AppendHistory appends rec as one JSON line to path, creating the file
+// if needed.
+func AppendHistory(path string, rec HistoryRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -763,17 +763,30 @@ func Run(cfg Config, tr *trace.Trace, policy sched.Policy) (*Result, error) {
 // unpooled runs.
 type Pool struct {
 	p sync.Pool
+
+	// OnGet, when set, observes every Get with whether a warmed engine
+	// was reused (true) or a fresh one built (false) — the telemetry
+	// hook behind the engine-reuse hit rate. Set it before the first
+	// Get; it is called from whichever goroutine acquires the engine,
+	// so it must be safe for concurrent calls.
+	OnGet func(reused bool)
 }
 
 // Get returns an engine armed for (cfg, tr, policy): a reused engine
 // when one is idle in the pool, a newly built one otherwise.
 func (p *Pool) Get(cfg Config, tr *trace.Trace, policy sched.Policy) (*Engine, error) {
 	if v := p.p.Get(); v != nil {
+		if p.OnGet != nil {
+			p.OnGet(true)
+		}
 		e := v.(*Engine)
 		if err := e.Reset(cfg, tr, policy); err != nil {
 			return nil, err
 		}
 		return e, nil
+	}
+	if p.OnGet != nil {
+		p.OnGet(false)
 	}
 	return New(cfg, tr, policy)
 }

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"simmr/internal/engine"
 	"simmr/internal/metrics"
 	"simmr/internal/parallel"
 	"simmr/internal/sched"
 	"simmr/internal/synth"
+	"simmr/internal/telemetry"
 	"simmr/internal/trace"
 	"simmr/internal/workload"
 )
@@ -36,6 +38,11 @@ type DeadlineSweepConfig struct {
 	// delivery contract. A full paper-scale sweep is minutes of work, so
 	// cmd/experiments wires this to a stderr ticker.
 	Progress parallel.ProgressFunc
+	// Telemetry, when set, records every replay of the sweep into the
+	// sharded metrics registry (one lock-free sink shard per cell, the
+	// pool's reuse hit rate, per-replay wall times) — what cmd/
+	// experiments -debug-addr scrapes during the longest sweeps.
+	Telemetry *telemetry.SimMetrics
 }
 
 // DefaultFigure7Config returns the paper's Figure 7 sweep. Repetitions
@@ -194,21 +201,34 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 	// A paper-scale sweep is 18 cells × 400 repetitions × 2 policies =
 	// 14,400 replays; pooling holds that to ~one engine per worker.
 	var pool engine.Pool
+	tel := cfg.Telemetry
+	if tel != nil {
+		tel.ExpectRuns(len(cells) * cfg.Repetitions * 2)
+		pool.OnGet = tel.PoolGet
+	}
 	points, err := parallel.MapProgress(context.Background(), 0, len(cells), cfg.Progress,
 		func(_ context.Context, i int) (DeadlineSweepPoint, error) {
 			c := cells[i]
 			var sumMax, sumMin float64
 			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(c.df*1000) ^ int64(c.meanIA)))
+			// One telemetry sink per cell, reused across the cell's
+			// replays: the cell runs on a single worker goroutine, so
+			// the sink stays single-goroutine while writing its own
+			// registry shard.
+			cellCfg := engCfg
+			if tel != nil {
+				cellCfg.Sink = tel.EngineSink()
+			}
 			for rep := 0; rep < cfg.Repetitions; rep++ {
 				tr, baselines := gen(rep, rng, c.meanIA)
 				assignDeadlines(tr, baselines, c.df, rng)
 				tr.Normalize()
 
-				maxVal, err := runUtility(&pool, engCfg, tr, sched.MaxEDF{})
+				maxVal, err := runUtility(&pool, tel, cellCfg, tr, sched.MaxEDF{})
 				if err != nil {
 					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MaxEDF: %w", name, err)
 				}
-				minVal, err := runUtility(&pool, engCfg, tr, sched.MinEDF{})
+				minVal, err := runUtility(&pool, tel, cellCfg, tr, sched.MinEDF{})
 				if err != nil {
 					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MinEDF: %w", name, err)
 				}
@@ -243,10 +263,17 @@ func assignDeadlines(tr *trace.Trace, baselines []float64, df float64, rng *rand
 // runUtility replays the trace on a pooled engine and evaluates the
 // relative-deadline-exceeded utility. The engine treats the trace as
 // read-only, so back-to-back replays need no clone.
-func runUtility(pool *engine.Pool, cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
+func runUtility(pool *engine.Pool, tel *telemetry.SimMetrics, cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
 	res, err := pool.Run(cfg, tr, policy)
 	if err != nil {
 		return 0, err
+	}
+	if tel != nil {
+		tel.ReplayDone(time.Since(start), res.Events)
 	}
 	obs := make([]metrics.DeadlineObservation, 0, len(res.Jobs))
 	for _, j := range res.Jobs {

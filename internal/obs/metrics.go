@@ -15,9 +15,18 @@ type MetricsSnapshot struct {
 	ByKind   [KindCount]uint64
 	// SimTime is the simulated time of the latest observed event.
 	SimTime float64
-	// Counters holds the run-level totals; valid once Done is true.
+	// Counters holds the run-level totals; they accumulate per RunEnd
+	// and are complete once Done is true.
 	Counters Counters
-	Done     bool
+	// RunsFinished counts RunEnd deliveries; RunsExpected is the target
+	// set via ExpectRuns (0 means "a single run" for compatibility).
+	RunsFinished int
+	RunsExpected int
+	// Done reports that every expected run has finished: RunsFinished
+	// has reached RunsExpected (or one run, when no expectation was
+	// set). A sink shared across a sweep no longer reports done after
+	// the first run.
+	Done bool
 }
 
 // MetricsSink tallies the event stream into counters. Unlike other
@@ -33,6 +42,19 @@ type MetricsSink struct {
 
 // NewMetricsSink returns a zeroed metrics sink.
 func NewMetricsSink() *MetricsSink { return &MetricsSink{} }
+
+// ExpectRuns adds n to the number of RunEnd deliveries after which the
+// sink reports Done. A sink shared across a sweep must be told the
+// sweep size (e.g. ExpectRuns(len(cells))) or its snapshot would report
+// a live sweep as done after the first cell finished. Without an
+// expectation the first RunEnd still sets Done, preserving the
+// single-run behavior.
+func (m *MetricsSink) ExpectRuns(n int) {
+	m.mu.Lock()
+	m.s.RunsExpected += n
+	m.s.Done = m.s.RunsExpected > 0 && m.s.RunsFinished >= m.s.RunsExpected
+	m.mu.Unlock()
+}
 
 // Event tallies one engine event.
 func (m *MetricsSink) Event(ev Event) {
@@ -63,7 +85,11 @@ func (m *MetricsSink) RunEnd(c Counters) {
 	if c.Makespan > t.Makespan {
 		t.Makespan = c.Makespan
 	}
-	m.s.Done = true
+	m.s.RunsFinished++
+	// Done tracks expected-vs-finished runs: with no expectation set the
+	// first RunEnd completes "the run"; with ExpectRuns(n) the sink is
+	// done only once all n runs delivered.
+	m.s.Done = m.s.RunsFinished >= m.s.RunsExpected || m.s.RunsExpected <= 0
 	m.mu.Unlock()
 }
 
@@ -91,6 +117,8 @@ func (m *MetricsSink) ExpvarValue() any {
 		"by_kind":            byKind,
 		"sim_time_s":         s.SimTime,
 		"done":               s.Done,
+		"runs_expected":      s.RunsExpected,
+		"runs_finished":      s.RunsFinished,
 		"engine_events":      s.Counters.Events,
 		"heap_high_water":    s.Counters.HeapHighWater,
 		"preemptions":        s.Counters.Preemptions,

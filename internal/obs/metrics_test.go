@@ -1,0 +1,61 @@
+package obs
+
+import "testing"
+
+// A MetricsSink shared across a sweep used to report Done after the
+// first RunEnd, making /debug/vars claim a live sweep had finished.
+// With ExpectRuns the sink is done only when every expected run ended.
+func TestMetricsSinkExpectRuns(t *testing.T) {
+	m := NewMetricsSink()
+	m.ExpectRuns(3)
+	for i := 1; i <= 3; i++ {
+		m.RunEnd(Counters{Events: 10, Jobs: 1, Makespan: float64(i)})
+		s := m.Snapshot()
+		if s.RunsFinished != i {
+			t.Fatalf("after run %d: RunsFinished = %d", i, s.RunsFinished)
+		}
+		if want := i == 3; s.Done != want {
+			t.Fatalf("after run %d of 3: Done = %v, want %v", i, s.Done, want)
+		}
+	}
+	s := m.Snapshot()
+	if s.RunsExpected != 3 || s.Counters.Events != 30 || s.Counters.Jobs != 3 {
+		t.Fatalf("final snapshot off: %+v", s)
+	}
+}
+
+// ExpectRuns accumulates, so a debug endpoint can keep one sink across
+// several sequential sweeps.
+func TestMetricsSinkExpectRunsAccumulates(t *testing.T) {
+	m := NewMetricsSink()
+	m.ExpectRuns(1)
+	m.RunEnd(Counters{})
+	if !m.Snapshot().Done {
+		t.Fatal("not done after the single expected run")
+	}
+	m.ExpectRuns(2)
+	if m.Snapshot().Done {
+		t.Fatal("done immediately after raising the expectation")
+	}
+	m.RunEnd(Counters{})
+	if m.Snapshot().Done {
+		t.Fatal("done with one of two new runs outstanding")
+	}
+	m.RunEnd(Counters{})
+	if !m.Snapshot().Done {
+		t.Fatal("not done after all expected runs")
+	}
+}
+
+// Without an expectation the first RunEnd still completes the sink —
+// the single-replay behavior every existing caller relies on.
+func TestMetricsSinkSingleRunDefault(t *testing.T) {
+	m := NewMetricsSink()
+	if m.Snapshot().Done {
+		t.Fatal("zero-value sink reports done")
+	}
+	m.RunEnd(Counters{})
+	if !m.Snapshot().Done {
+		t.Fatal("single un-expected run did not set Done")
+	}
+}

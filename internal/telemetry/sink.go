@@ -1,0 +1,322 @@
+// SimMetrics is the SimMR metric set over a sharded Registry, and
+// EngineSink is the obs.Sink that feeds it. Together they replace
+// obs.MetricsSink's sweep-aggregation role: instead of N engines
+// funneling every event through one mutex, each engine's sink writes
+// its own registry shard with plain atomics and the shards merge at
+// scrape time.
+
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"simmr/internal/obs"
+)
+
+// Bucket boundaries, in seconds unless noted. Fixed at registration so
+// the exposition format is stable (the golden test pins them).
+var (
+	// TaskDurationBuckets covers replayed task durations: testbed map
+	// tasks run tens of seconds, reduces up to tens of minutes.
+	TaskDurationBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+	// CompletionBuckets covers job completion times and makespans.
+	CompletionBuckets = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000}
+	// WallBuckets covers real (not simulated) elapsed time: replay wall
+	// time and lifecycle spans, from sub-millisecond to tens of seconds.
+	WallBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+	// RateBuckets covers per-replay events/sec throughput.
+	RateBuckets = []float64{1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7}
+	// QueueBuckets covers the event queue's peak pending population.
+	QueueBuckets = []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+)
+
+// SpanStages are the replay-lifecycle stages timed by Span, in
+// exposition order: trace load, engine build/reset, the replay itself,
+// and report/output writing.
+var SpanStages = []string{"load", "build", "run", "report"}
+
+// SimMetrics bundles the full SimMR metric set. Build one per process
+// (or per sweep) with NewSimMetrics, attach EngineSink() to each
+// engine, and serve Registry() via Handler. All methods are safe for
+// concurrent use; a nil *SimMetrics is valid and inert, so callers
+// guard instrumentation with a single nil check.
+type SimMetrics struct {
+	reg *Registry
+
+	mapTaskDur    *Histogram
+	reduceTaskDur *Histogram
+	jobCompletion *Histogram
+	queueHigh     *Histogram
+	replayWall    *Histogram
+	replayRate    *Histogram
+	spans         []*Histogram // by SpanStages index
+
+	eventsTotal  *Counter
+	eventsByKind []*Counter // by obs.Kind
+	jobsTotal    *Counter
+	replaysTotal *Counter
+	poolGets     [2]*Counter // [miss, hit]
+	preemptions  *Counter
+	fillerPatch  *Counter
+	mapAllocs    *Counter
+	reduceAllocs *Counter
+
+	simTime  *MaxGauge
+	makespan *MaxGauge
+	queueMax *MaxGauge
+	expected atomic.Int64 // runs expected by the current sweep/batch
+}
+
+// NewSimMetrics builds the SimMR metric set on a fresh registry;
+// shards <= 0 sizes the shard count to GOMAXPROCS (the parallel
+// worker-pool ceiling).
+func NewSimMetrics(shards int) *SimMetrics {
+	r := NewRegistry(shards)
+	kinds := make([]string, obs.KindCount)
+	for k := obs.Kind(0); k < obs.KindCount; k++ {
+		kinds[k] = k.String()
+	}
+	t := &SimMetrics{
+		reg: r,
+		mapTaskDur: r.NewHistogram("simmr_map_task_duration_seconds",
+			"Simulated durations of replayed map task executions.", TaskDurationBuckets),
+		reduceTaskDur: r.NewHistogram("simmr_reduce_task_duration_seconds",
+			"Simulated durations of replayed reduce tasks (shuffle + reduce phase).", TaskDurationBuckets),
+		jobCompletion: r.NewHistogram("simmr_job_completion_seconds",
+			"Simulated job completion times (departure - arrival).", CompletionBuckets),
+		queueHigh: r.NewHistogram("simmr_queue_high_water_events",
+			"Peak pending-event population of the DES queue, one observation per replay.", QueueBuckets),
+		replayWall: r.NewHistogram("simmr_replay_wall_seconds",
+			"Wall-clock time per replay through the parallel runtime.", WallBuckets),
+		replayRate: r.NewHistogram("simmr_replay_events_per_second",
+			"Engine event throughput per replay (events / wall seconds).", RateBuckets),
+		eventsTotal: r.NewCounter("simmr_engine_events_total",
+			"Engine events processed (DES queue pops), summed at replay end."),
+		eventsByKind: r.NewCounterVec("simmr_engine_events_by_kind_total",
+			"Observability events delivered to sinks, by kind.", "kind", kinds),
+		jobsTotal: r.NewCounter("simmr_jobs_completed_total",
+			"Jobs that departed across all replays."),
+		replaysTotal: r.NewCounter("simmr_replays_total",
+			"Replays completed."),
+		preemptions: r.NewCounter("simmr_preemptions_total",
+			"Map tasks killed under PreemptMapTasks."),
+		fillerPatch: r.NewCounter("simmr_filler_patches_total",
+			"First-wave filler reduces patched at map-stage completion."),
+		mapAllocs: r.NewCounter("simmr_map_slot_allocs_total",
+			"Map slot grants."),
+		reduceAllocs: r.NewCounter("simmr_reduce_slot_allocs_total",
+			"Reduce slot grants."),
+		simTime: r.NewMaxGauge("simmr_sim_time_seconds",
+			"Latest simulated timestamp observed across replays (max-merged)."),
+		makespan: r.NewMaxGauge("simmr_makespan_seconds",
+			"Largest replay makespan observed (max-merged)."),
+		queueMax: r.NewMaxGauge("simmr_queue_high_water_events_max",
+			"Largest DES queue high-water observed across replays (max-merged)."),
+	}
+	pg := r.NewCounterVec("simmr_engine_pool_gets_total",
+		"Engine acquisitions from the replay pool, by whether a warmed engine was reused.",
+		"reused", []string{"false", "true"})
+	t.poolGets[0], t.poolGets[1] = pg[0], pg[1]
+	t.spans = r.NewHistogramVec("simmr_replay_stage_seconds",
+		"Wall-clock replay lifecycle stage timings (trace load, engine build, run, report).",
+		"stage", SpanStages, WallBuckets)
+	return t
+}
+
+// Registry returns the underlying registry — serve it with Handler.
+func (t *SimMetrics) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// ExpectRuns adds n to the number of replays the current workload will
+// perform; the expvar view reports done only once that many replays
+// finished (the fix for MetricsSink's first-RunEnd-wins bug, applied
+// here natively).
+func (t *SimMetrics) ExpectRuns(n int) {
+	if t == nil {
+		return
+	}
+	t.expected.Add(int64(n))
+}
+
+// ReplayDone records one replay's wall time and throughput. Callers
+// invoke it once per replay (cold path), so it picks a shard per call.
+func (t *SimMetrics) ReplayDone(wall time.Duration, events uint64) {
+	if t == nil {
+		return
+	}
+	sh := t.reg.NextShard()
+	sec := wall.Seconds()
+	t.replayWall.Observe(sh, sec)
+	if sec > 0 {
+		t.replayRate.Observe(sh, float64(events)/sec)
+	}
+}
+
+// PoolGet records one engine acquisition; wire it to engine.Pool.OnGet.
+func (t *SimMetrics) PoolGet(reused bool) {
+	if t == nil {
+		return
+	}
+	i := 0
+	if reused {
+		i = 1
+	}
+	t.poolGets[i].Inc(t.reg.NextShard())
+}
+
+// Span starts timing one replay-lifecycle stage ("load", "build",
+// "run", "report") and returns the stop function. Unknown stages and
+// nil receivers return an inert stop.
+func (t *SimMetrics) Span(stage string) func() {
+	if t == nil {
+		return noopStop
+	}
+	var h *Histogram
+	for i, s := range SpanStages {
+		if s == stage {
+			h = t.spans[i]
+			break
+		}
+	}
+	if h == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() {
+		h.Observe(t.reg.NextShard(), time.Since(start).Seconds())
+	}
+}
+
+func noopStop() {}
+
+// EngineSink returns a new single-engine observability sink feeding
+// this metric set, pinned to one registry shard for its lifetime.
+// Returns a nil interface when t is nil, so the engine's `sink != nil`
+// fast path stays taken. One sink per engine (obs.Sink contract); a
+// sink may be reused across sequential runs of the same engine.
+func (t *SimMetrics) EngineSink() obs.Sink {
+	if t == nil {
+		return nil
+	}
+	return &engineSink{
+		t:        t,
+		shard:    t.reg.NextShard(),
+		arrivals: make(map[int]float64),
+	}
+}
+
+// engineSink tallies one engine's event stream into the shared sharded
+// registry. It is single-goroutine like every obs.Sink; all its writes
+// go to its own shard, so concurrent sinks never contend.
+type engineSink struct {
+	t     *SimMetrics
+	shard int
+	// arrivals maps live job IDs to arrival times so departures can
+	// observe completion durations; cleared at RunEnd for reuse.
+	arrivals map[int]float64
+	// fillerStarts maps jobID<<20|task to first-wave reduce start times
+	// so KindFillerPatch can observe the full task duration. Lazily
+	// allocated: replays without fillers never build it.
+	fillerStarts map[int64]float64
+}
+
+func fillerKey(jobID, task int) int64 {
+	return int64(jobID)<<20 | int64(task)
+}
+
+// Event tallies one engine event.
+func (s *engineSink) Event(ev obs.Event) {
+	t, sh := s.t, s.shard
+	t.eventsByKind[ev.Kind].Inc(sh)
+	t.simTime.Observe(sh, ev.Time)
+	switch ev.Kind {
+	case obs.KindJobArrival:
+		s.arrivals[ev.JobID] = ev.Time
+	case obs.KindJobDeparture:
+		if a, ok := s.arrivals[ev.JobID]; ok {
+			t.jobCompletion.Observe(sh, ev.Time-a)
+			delete(s.arrivals, ev.JobID)
+		}
+		t.jobsTotal.Inc(sh)
+	case obs.KindMapTaskStart:
+		// End is the planned departure; preempted attempts are counted
+		// as scheduled (their replanned re-execution is counted again).
+		t.mapTaskDur.Observe(sh, ev.End-ev.Time)
+	case obs.KindReduceTaskStart:
+		if math.IsInf(ev.End, 1) {
+			// First-wave filler: duration unknown until the map stage
+			// completes; remember the start for KindFillerPatch.
+			if s.fillerStarts == nil {
+				s.fillerStarts = make(map[int64]float64)
+			}
+			s.fillerStarts[fillerKey(ev.JobID, ev.Task)] = ev.Time
+		} else {
+			t.reduceTaskDur.Observe(sh, ev.End-ev.Time)
+		}
+	case obs.KindFillerPatch:
+		if start, ok := s.fillerStarts[fillerKey(ev.JobID, ev.Task)]; ok {
+			t.reduceTaskDur.Observe(sh, ev.End-start)
+			delete(s.fillerStarts, fillerKey(ev.JobID, ev.Task))
+		}
+	}
+}
+
+// RunEnd folds the run-level counters into the registry and resets the
+// sink's per-run scratch so it can serve the engine's next run.
+func (s *engineSink) RunEnd(c obs.Counters) {
+	t, sh := s.t, s.shard
+	t.eventsTotal.Add(sh, c.Events)
+	t.queueHigh.Observe(sh, float64(c.HeapHighWater))
+	t.queueMax.Observe(sh, float64(c.HeapHighWater))
+	t.preemptions.Add(sh, c.Preemptions)
+	t.fillerPatch.Add(sh, c.FillerPatches)
+	t.mapAllocs.Add(sh, c.MapSlotAllocs)
+	t.reduceAllocs.Add(sh, c.ReduceSlotAllocs)
+	t.makespan.Observe(sh, c.Makespan)
+	t.replaysTotal.Inc(sh)
+	clear(s.arrivals)
+	clear(s.fillerStarts)
+}
+
+// ExpvarValue renders the merged registry in the same shape
+// obs.MetricsSink.ExpvarValue uses, so /debug/vars stays stable while
+// the aggregation underneath moved to the sharded registry. `done`
+// honors ExpectRuns: a live sweep is done only when every expected
+// replay finished.
+func (t *SimMetrics) ExpvarValue() any {
+	if t == nil {
+		return nil
+	}
+	byKind := make(map[string]uint64, obs.KindCount)
+	var observed uint64
+	for k := obs.Kind(0); k < obs.KindCount; k++ {
+		if v := t.eventsByKind[k].Value(); v > 0 {
+			byKind[k.String()] = v
+			observed += v
+		}
+	}
+	finished := t.replaysTotal.Value()
+	expected := t.expected.Load()
+	return map[string]any{
+		"observed_events":    observed,
+		"by_kind":            byKind,
+		"sim_time_s":         t.simTime.Value(),
+		"done":               expected > 0 && finished >= uint64(expected),
+		"runs_expected":      expected,
+		"runs_finished":      finished,
+		"engine_events":      t.eventsTotal.Value(),
+		"heap_high_water":    int(t.queueMax.Value()),
+		"preemptions":        t.preemptions.Value(),
+		"filler_patches":     t.fillerPatch.Value(),
+		"map_slot_allocs":    t.mapAllocs.Value(),
+		"reduce_slot_allocs": t.reduceAllocs.Value(),
+		"jobs":               t.jobsTotal.Value(),
+		"makespan_s":         t.makespan.Value(),
+	}
+}

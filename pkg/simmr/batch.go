@@ -3,8 +3,10 @@ package simmr
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"simmr/internal/engine"
+	"simmr/internal/obs"
 	"simmr/internal/parallel"
 	"simmr/internal/sched"
 )
@@ -47,6 +49,26 @@ func ReplayBatchCtx(ctx context.Context, workers int, specs []ReplaySpec) ([]*Re
 // specs) callbacks from the worker pool under the parallel package's
 // rate-limit contract.
 func ReplayBatchProgress(ctx context.Context, workers int, progress ProgressFunc, specs []ReplaySpec) ([]*ReplayResult, error) {
+	return ReplayBatchCfg(ctx, BatchConfig{Workers: workers, Progress: progress}, specs)
+}
+
+// BatchConfig parameterizes ReplayBatchCfg beyond the specs themselves.
+type BatchConfig struct {
+	// Workers bounds concurrent replays: 0 means one worker per CPU, 1
+	// forces the serial path. Results are in spec order regardless.
+	Workers int
+	// Progress, when set, receives bounded-rate (done, total) callbacks.
+	Progress ProgressFunc
+	// Telemetry, when set, records the batch into the sharded metrics
+	// registry: per-spec engine events and duration histograms (one
+	// lock-free sink shard per spec), per-replay wall time and
+	// events/sec, and the engine pool's reuse hit rate.
+	Telemetry *Telemetry
+}
+
+// ReplayBatchCfg is the fully configurable batch entry point; the other
+// ReplayBatch variants are shorthands for it.
+func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) ([]*ReplayResult, error) {
 	for i := range specs {
 		if specs[i].Trace == nil || len(specs[i].Trace.Jobs) == 0 {
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(&specs[i]), ErrEmptyWorkload)
@@ -55,7 +77,12 @@ func ReplayBatchProgress(ctx context.Context, workers int, progress ProgressFunc
 	// Specs share one engine pool: the batch holds ~one engine per
 	// worker regardless of how many specs it replays.
 	var pool engine.Pool
-	return parallel.MapProgress(ctx, workers, len(specs), progress, func(_ context.Context, i int) (*ReplayResult, error) {
+	tel := bcfg.Telemetry
+	if tel != nil {
+		tel.ExpectRuns(len(specs))
+		pool.OnGet = tel.PoolGet
+	}
+	return parallel.MapProgress(ctx, bcfg.Workers, len(specs), bcfg.Progress, func(_ context.Context, i int) (*ReplayResult, error) {
 		spec := &specs[i]
 		cfg := spec.Config
 		// A spec that only sets an observability sink still gets the
@@ -70,9 +97,19 @@ func ReplayBatchProgress(ctx context.Context, workers int, progress ProgressFunc
 		if policy == nil {
 			policy = sched.FIFO{}
 		}
+		var start time.Time
+		if tel != nil {
+			// Each spec's telemetry sink writes its own registry shard;
+			// Tee keeps a spec-provided sink observing too.
+			cfg.Sink = obs.Tee(cfg.Sink, tel.EngineSink())
+			start = time.Now()
+		}
 		res, err := pool.Run(cfg, spec.Trace, policy)
 		if err != nil {
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(spec), err)
+		}
+		if tel != nil {
+			tel.ReplayDone(time.Since(start), res.Events)
 		}
 		return res, nil
 	})

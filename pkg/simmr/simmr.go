@@ -24,6 +24,7 @@ package simmr
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
 	"simmr/internal/cluster"
 	"simmr/internal/engine"
@@ -35,6 +36,7 @@ import (
 	"simmr/internal/sched"
 	"simmr/internal/stats"
 	"simmr/internal/synth"
+	"simmr/internal/telemetry"
 	"simmr/internal/trace"
 	"simmr/internal/workload"
 )
@@ -100,6 +102,26 @@ type (
 	// SlotSpan is one task execution pinned to a concrete slot.
 	SlotSpan = obs.SlotSpan
 )
+
+// Telemetry is the sharded sweep-wide metrics registry (DESIGN.md §10):
+// counters, max-gauges, and fixed-bucket histograms updated with plain
+// atomics on per-worker shards and merged only at scrape time, so a
+// single Telemetry shared by every concurrent replay costs no mutex per
+// event. Set SweepConfig.Telemetry / BatchConfig.Telemetry (or attach
+// EngineSink() to a ReplayConfig) to feed it, and serve it in
+// Prometheus text format via MetricsHandler. A nil *Telemetry is valid
+// everywhere and costs nothing.
+type Telemetry = telemetry.SimMetrics
+
+// NewTelemetry builds the SimMR metric set (task-duration, completion,
+// and queue histograms; event, slot, and pool-reuse counters; replay
+// wall-time and lifecycle-span histograms) with one registry shard per
+// CPU — the parallel worker-pool ceiling.
+func NewTelemetry() *Telemetry { return telemetry.NewSimMetrics(0) }
+
+// MetricsHandler serves a Telemetry registry as a Prometheus /metrics
+// scrape endpoint (text exposition format 0.0.4).
+func MetricsHandler(t *Telemetry) http.Handler { return telemetry.Handler(t.Registry()) }
 
 // NewTimelineSink returns a slot-occupancy timeline recorder.
 func NewTimelineSink() *TimelineSink { return obs.NewTimelineSink() }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"simmr/internal/engine"
 	"simmr/internal/obs"
@@ -62,6 +63,12 @@ type SweepConfig struct {
 	// concurrent calls); each cell's engine gets its own sink, keeping
 	// sinks single-goroutine as obs.Sink requires.
 	SinkFactory func(mapSlots, reduceSlots int) obs.Sink
+	// Telemetry, when set, records the sweep into the sharded metrics
+	// registry: per-cell engine events and task-duration histograms
+	// (one lock-free sink shard per cell), per-replay wall time and
+	// events/sec, and the engine pool's reuse hit rate. Nil costs
+	// nothing — the hot path is never touched.
+	Telemetry *Telemetry
 }
 
 // sweepCell is one (map slots, reduce slots) grid position.
@@ -122,6 +129,11 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 	// an engine per cell. Reset makes reused engines byte-identical to
 	// fresh ones, so determinism across worker counts is preserved.
 	var pool engine.Pool
+	tel := cfg.Telemetry
+	if tel != nil {
+		tel.ExpectRuns(len(cells))
+		pool.OnGet = tel.PoolGet
+	}
 	return parallel.MapProgress(ctx, cfg.Workers, len(cells), cfg.Progress, func(_ context.Context, i int) (SweepPoint, error) {
 		c := cells[i]
 		ecfg := engine.Config{
@@ -132,9 +144,19 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		if cfg.SinkFactory != nil {
 			ecfg.Sink = cfg.SinkFactory(c.m, c.r)
 		}
+		var start time.Time
+		if tel != nil {
+			// Each cell's telemetry sink writes its own registry shard;
+			// Tee keeps a caller-provided sink observing too.
+			ecfg.Sink = obs.Tee(ecfg.Sink, tel.EngineSink())
+			start = time.Now()
+		}
 		res, err := pool.Run(ecfg, tr, newPolicy())
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("simmr: sweep at %d+%d slots: %w", c.m, c.r, err)
+		}
+		if tel != nil {
+			tel.ReplayDone(time.Since(start), res.Events)
 		}
 		return sweepPoint(c, res), nil
 	})

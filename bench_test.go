@@ -27,6 +27,27 @@ func BenchmarkReplayAllocs(b *testing.B) { benchkit.Replay(b) }
 // the BENCH_engine.json allocation baseline.
 func BenchmarkReplayObserved(b *testing.B) { benchkit.ReplayObserved(b) }
 
+// BenchmarkMultiTenantScan replays 1000 concurrently active jobs
+// through the reference per-slot policy scan — O(slots × jobs) per
+// event, the multi-tenant bottleneck ISSUE 5 targets.
+func BenchmarkMultiTenantScan(b *testing.B) { benchkit.MultiTenant(b, false) }
+
+// BenchmarkMultiTenantIndexed is the same workload on the BatchPolicy
+// fast path (tournament indexes + batch slot allocation); outcomes are
+// byte-identical to the scan, only the lookup cost changes. The ratio
+// lands in BENCH_engine.json as sched_speedup.
+func BenchmarkMultiTenantIndexed(b *testing.B) { benchkit.MultiTenant(b, true) }
+
+// BenchmarkPreemptScan pins preemption cost at 1k concurrent jobs on
+// the scan allocation path. Victim selection itself always goes through
+// the engine's deadline-ordered preemption index (one winner query per
+// kill, regardless of policy path).
+func BenchmarkPreemptScan(b *testing.B) { benchkit.Preempt(b, false) }
+
+// BenchmarkPreemptIndexed is the preemption workload with batch slot
+// allocation as well — the fully indexed configuration.
+func BenchmarkPreemptIndexed(b *testing.B) { benchkit.Preempt(b, true) }
+
 // BenchmarkCapacitySweepSerial is the single-worker reference for the
 // 16-cell capacity sweep.
 func BenchmarkCapacitySweepSerial(b *testing.B) { benchkit.Sweep(b, 1) }

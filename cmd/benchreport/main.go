@@ -48,6 +48,8 @@ func main() {
 			EventsPerSec:         rep.EventsPerSec,
 			AllocsPerOp:          rep.AllocsPerOp,
 			BytesPerOp:           rep.BytesPerOp,
+			SchedEventsPerSec:    rep.SchedEventsPerSec,
+			SchedAllocsPerOp:     rep.SchedAllocsPerOp,
 			BaselineEventsPerSec: rep.Baseline.EventsPerSec,
 			BaselineAllocsPerOp:  rep.Baseline.ReplayAllocsPerOp,
 			Floor:                *floor,
@@ -76,13 +78,20 @@ func main() {
 	}
 	appendHistory(*history, benchkit.HistoryRecord{
 		Time: now, Mode: "bench", Pass: true,
-		EventsPerSec: m.EventsPerSec,
-		AllocsPerOp:  m.ReplayAllocsPerOp,
-		BytesPerOp:   m.ReplayBytesPerOp,
+		EventsPerSec:      m.EventsPerSec,
+		AllocsPerOp:       m.ReplayAllocsPerOp,
+		BytesPerOp:        m.ReplayBytesPerOp,
+		SchedEventsPerSec: m.SchedEventsPerSec,
+		SchedAllocsPerOp:  m.SchedAllocsPerOp,
 	})
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)\n",
-		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
+	sweep := fmt.Sprintf("sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)",
 		m.SweepSerialSeconds, m.SweepParallelSeconds, m.NumCPU, m.SweepSpeedup)
+	if m.SweepSpeedupSkipped {
+		sweep = fmt.Sprintf("sweep %.3fs serial, speedup skipped (single CPU)", m.SweepSerialSeconds)
+	}
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), %s\n",
+		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
+		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup, sweep)
 }
 
 // appendHistory logs one run; a failure to log is a warning, never a

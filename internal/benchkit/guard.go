@@ -71,8 +71,14 @@ type GuardReport struct {
 	AllocsPerOp  int64
 	BytesPerOp   int64
 	EventsPerSec float64
-	Baseline     Metrics
-	Summary      string
+
+	// The multi-tenant smoke: indexed-path replay at 1000 concurrent
+	// jobs, guarded when the baseline records sched_allocs_per_op.
+	SchedAllocsPerOp  int64
+	SchedEventsPerSec float64
+
+	Baseline Metrics
+	Summary  string
 }
 
 // Guard reruns the no-sink replay benchmark and fails if it regressed
@@ -106,6 +112,24 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	rep.Summary = fmt.Sprintf("replay allocs/op %d (baseline %d, limit %d), %.0f events/sec (baseline %.0f, floor %.0f)",
 		rep.AllocsPerOp, base.ReplayAllocsPerOp, allocLimit,
 		rep.EventsPerSec, base.EventsPerSec, base.EventsPerSec*floor)
+
+	// Multi-tenant smoke: rerun the indexed 1000-job replay and hold the
+	// allocate() fast path to the same deterministic 5% allocation bound.
+	// Skipped against baselines that predate the sched metrics.
+	var schedLimit int64
+	if base.SchedAllocsPerOp > 0 {
+		sb := testing.Benchmark(func(b *testing.B) { MultiTenant(b, true) })
+		rep.SchedAllocsPerOp = sb.AllocsPerOp()
+		rep.SchedEventsPerSec = sb.Extra["events/sec"]
+		schedLimit = int64(float64(base.SchedAllocsPerOp) * (1 + AllocTolerance))
+		rep.Summary += fmt.Sprintf("; sched allocs/op %d (baseline %d, limit %d), %.0f events/sec (baseline %.0f)",
+			rep.SchedAllocsPerOp, base.SchedAllocsPerOp, schedLimit,
+			rep.SchedEventsPerSec, base.SchedEventsPerSec)
+	}
+	if base.SweepSpeedupSkipped || base.NumCPU == 1 {
+		rep.Summary += "; sweep speedup floor skipped (single-CPU baseline)"
+	}
+
 	if rep.AllocsPerOp > allocLimit {
 		return rep, fmt.Errorf("benchkit: replay allocations regressed >%.0f%%: %d/op vs baseline %d/op",
 			AllocTolerance*100, rep.AllocsPerOp, base.ReplayAllocsPerOp)
@@ -113,6 +137,14 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	if floor > 0 && base.EventsPerSec > 0 && rep.EventsPerSec < base.EventsPerSec*floor {
 		return rep, fmt.Errorf("benchkit: replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
 			rep.EventsPerSec, base.EventsPerSec, floor)
+	}
+	if schedLimit > 0 && rep.SchedAllocsPerOp > schedLimit {
+		return rep, fmt.Errorf("benchkit: indexed allocate() allocations regressed >%.0f%%: %d/op vs baseline %d/op",
+			AllocTolerance*100, rep.SchedAllocsPerOp, base.SchedAllocsPerOp)
+	}
+	if schedLimit > 0 && floor > 0 && base.SchedEventsPerSec > 0 && rep.SchedEventsPerSec < base.SchedEventsPerSec*floor {
+		return rep, fmt.Errorf("benchkit: indexed multi-tenant throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
+			rep.SchedEventsPerSec, base.SchedEventsPerSec, floor)
 	}
 	return rep, nil
 }

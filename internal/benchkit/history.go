@@ -19,6 +19,11 @@ type HistoryRecord struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 
+	// Multi-tenant indexed-scheduler replay (1000 concurrent jobs);
+	// zero on runs predating the sched benchmarks.
+	SchedEventsPerSec float64 `json:"sched_events_per_sec,omitempty"`
+	SchedAllocsPerOp  int64   `json:"sched_allocs_per_op,omitempty"`
+
 	// Guard runs record what they compared against.
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	BaselineAllocsPerOp  int64   `json:"baseline_allocs_per_op,omitempty"`

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"simmr/internal/obs"
+	"simmr/internal/sched"
+	"simmr/internal/synth"
+	"simmr/internal/trace"
+)
+
+// This file is the correctness oracle for the BatchPolicy fast path
+// (DESIGN.md §11): every indexed policy is replayed against the
+// reference scan on the same trace and must be byte-identical — same
+// JobOutcomes, same makespan, same event count, and the same
+// observability event sequence in the same order. The scan path is the
+// paper's semantics; any divergence is a fast-path bug by definition.
+
+// diffPolicies returns the scan policies with indexed equivalents, as
+// factories (indexed policies are stateful — one instance per engine).
+func diffPolicies() []struct {
+	name string
+	mk   func() sched.Policy
+} {
+	return []struct {
+		name string
+		mk   func() sched.Policy
+	}{
+		{"FIFO", func() sched.Policy { return sched.FIFO{} }},
+		{"MaxEDF", func() sched.Policy { return sched.MaxEDF{} }},
+		{"MinEDF-avg", func() sched.Policy { return sched.MinEDF{} }},
+		{"MinEDF-low", func() sched.Policy { return sched.MinEDF{Estimate: sched.EstimatorLow} }},
+		{"MinEDF-up", func() sched.Policy { return sched.MinEDF{Estimate: sched.EstimatorUp} }},
+		{"Fair", func() sched.Policy { return sched.Fair{} }},
+		{"Capacity", func() sched.Policy { return sched.Capacity{Shares: []float64{3, 1, 2}} }},
+	}
+}
+
+// replayRecorded runs one replay with a recording sink attached.
+func replayRecorded(t *testing.T, cfg Config, tr *trace.Trace, p sched.Policy) (*Result, *obs.RecordSink) {
+	t.Helper()
+	sink := &obs.RecordSink{}
+	cfg.Sink = sink
+	res, err := Run(cfg, tr, p)
+	if err != nil {
+		t.Fatalf("%s replay: %v", p.Name(), err)
+	}
+	return res, sink
+}
+
+// assertIdenticalReplays compares the scan and indexed replays of one
+// (cfg, trace, policy) cell down to the observability stream.
+func assertIdenticalReplays(t *testing.T, cfg Config, tr *trace.Trace, mk func() sched.Policy) {
+	t.Helper()
+	scanPolicy := mk()
+	indexedPolicy := sched.Indexed(mk())
+	if _, ok := indexedPolicy.(sched.BatchPolicy); !ok {
+		t.Fatalf("Indexed(%s) = %T does not implement BatchPolicy", scanPolicy.Name(), indexedPolicy)
+	}
+	// Guard against a silently disabled fast path: the engine must have
+	// resolved the batch interface at Reset.
+	e, err := New(cfg, tr, indexedPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.batch == nil {
+		t.Fatalf("engine did not select the batch fast path for %T", indexedPolicy)
+	}
+
+	scanRes, scanSink := replayRecorded(t, cfg, tr, scanPolicy)
+	idxRes, idxSink := replayRecorded(t, cfg, tr, indexedPolicy)
+
+	if scanRes.Events != idxRes.Events || scanRes.Makespan != idxRes.Makespan {
+		t.Fatalf("%s: events %d vs %d, makespan %v vs %v",
+			scanPolicy.Name(), scanRes.Events, idxRes.Events, scanRes.Makespan, idxRes.Makespan)
+	}
+	if !reflect.DeepEqual(scanRes.Jobs, idxRes.Jobs) {
+		for i := range scanRes.Jobs {
+			if !reflect.DeepEqual(scanRes.Jobs[i], idxRes.Jobs[i]) {
+				t.Fatalf("%s: job %d outcome diverged:\n scan    %+v\n indexed %+v",
+					scanPolicy.Name(), scanRes.Jobs[i].ID, scanRes.Jobs[i], idxRes.Jobs[i])
+			}
+		}
+		t.Fatalf("%s: job outcomes diverged", scanPolicy.Name())
+	}
+	if len(scanSink.Events) != len(idxSink.Events) {
+		t.Fatalf("%s: obs stream length %d vs %d",
+			scanPolicy.Name(), len(scanSink.Events), len(idxSink.Events))
+	}
+	for i := range scanSink.Events {
+		if scanSink.Events[i] != idxSink.Events[i] {
+			t.Fatalf("%s: obs event %d diverged:\n scan    %+v\n indexed %+v",
+				scanPolicy.Name(), i, scanSink.Events[i], idxSink.Events[i])
+		}
+	}
+	if scanSink.Counters != idxSink.Counters {
+		t.Fatalf("%s: run counters diverged:\n scan    %+v\n indexed %+v",
+			scanPolicy.Name(), scanSink.Counters, idxSink.Counters)
+	}
+}
+
+// TestDifferentialIndexedVsScan replays every indexable policy on
+// multi-tenant traces of increasing concurrency and asserts the fast
+// path is byte-identical to the reference scan.
+func TestDifferentialIndexedVsScan(t *testing.T) {
+	sizes := []int{10, 100, 1000}
+	for _, n := range sizes {
+		tr, err := synth.MultiTenantTrace(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range diffPolicies() {
+			pc := pc
+			t.Run(pc.name+"/"+tr.Name, func(t *testing.T) {
+				assertIdenticalReplays(t, DefaultConfig(), tr, pc.mk)
+			})
+		}
+	}
+}
+
+// TestDifferentialIndexedVsScan5k is the acceptance-scale tier: all
+// indexable policies at 5000 concurrent jobs. Under -race the tier
+// drops to 1000 jobs (see raceDetectorEnabled) — the reference scan
+// replays are quadratic by design and the detector's overhead would
+// dominate the suite without adding coverage over the plain 5k run.
+func TestDifferentialIndexedVsScan5k(t *testing.T) {
+	n := 5000
+	if raceDetectorEnabled {
+		n = 1000
+	}
+	if testing.Short() {
+		t.Skip("short mode: 5k differential tier skipped")
+	}
+	tr, err := synth.MultiTenantTrace(n, rand.New(rand.NewSource(5000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range diffPolicies() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			assertIdenticalReplays(t, DefaultConfig(), tr, pc.mk)
+		})
+	}
+}
+
+// TestDifferentialIndexedPreemption replays the deadline policies with
+// map-task preemption enabled, exercising the preemption index (victim
+// selection) together with the batch path's OnJobUpdate flow on kills.
+func TestDifferentialIndexedPreemption(t *testing.T) {
+	tr, err := synth.MultiTenantTrace(600, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PreemptMapTasks = true
+	for _, pc := range diffPolicies() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			assertIdenticalReplays(t, cfg, tr, pc.mk)
+		})
+	}
+}
+
+// TestDifferentialIndexedAblations runs the shuffle-model ablations and
+// a tight-slot configuration through both paths: eligibility churn
+// (ReduceReady gates, slot starvation) differs markedly across these,
+// and the index must track all of it.
+func TestDifferentialIndexedAblations(t *testing.T) {
+	tr, err := synth.MultiTenantTrace(300, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"tight-slots", Config{MapSlots: 4, ReduceSlots: 2, MinMapPercentCompleted: 0.5}},
+		{"no-shuffle", Config{MapSlots: 64, ReduceSlots: 64, MinMapPercentCompleted: 0.05, NoShuffleModel: true}},
+		{"no-first-shuffle", Config{MapSlots: 64, ReduceSlots: 64, MinMapPercentCompleted: 0.05, NoFirstShuffleSpecialCase: true}},
+		{"spans", Config{MapSlots: 16, ReduceSlots: 16, MinMapPercentCompleted: 0.05, RecordSpans: true}},
+	}
+	for _, cc := range cfgs {
+		for _, pc := range diffPolicies() {
+			pc, cc := pc, cc
+			t.Run(cc.name+"/"+pc.name, func(t *testing.T) {
+				assertIdenticalReplays(t, cc.cfg, tr, pc.mk)
+			})
+		}
+	}
+}
+
+// TestDifferentialIndexedSparseIDs replays a hand-built trace whose job
+// IDs are non-dense (engine dispatch falls back to the indexOf map) —
+// the indexed policies key their own maps by job ID and must not
+// assume density either.
+func TestDifferentialIndexedSparseIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := &trace.Trace{Name: "sparse-ids"}
+	for i := 0; i < 40; i++ {
+		tpl := &trace.Template{
+			AppName:      "sparse",
+			NumMaps:      1 + rng.Intn(4),
+			NumReduces:   rng.Intn(2),
+			MapDurations: []float64{5, 7, 9, 11},
+		}
+		tpl.MapDurations = tpl.MapDurations[:tpl.NumMaps]
+		if tpl.NumReduces > 0 {
+			tpl.TypicalShuffle = []float64{3}
+			tpl.FirstShuffle = []float64{2}
+			tpl.ReduceDurations = []float64{4}
+		}
+		job := &trace.Job{
+			ID:       i*7 + 3, // sparse, non-zero-based
+			Arrival:  float64(i) * 0.25,
+			Template: tpl,
+		}
+		if i%2 == 0 {
+			job.Deadline = job.Arrival + 50 + float64(rng.Intn(100))
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range diffPolicies() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			assertIdenticalReplays(t, DefaultConfig(), tr, pc.mk)
+		})
+	}
+}
+
+// TestIndexedEngineReuseDeterministic re-runs one engine + one indexed
+// policy instance through Reset and asserts the second replay is
+// byte-identical — the ResetQueue leg of the engine-reuse contract.
+func TestIndexedEngineReuseDeterministic(t *testing.T) {
+	tr, err := synth.MultiTenantTrace(200, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range diffPolicies() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			p := sched.Indexed(pc.mk())
+			cfg := DefaultConfig()
+			cfg.PreemptMapTasks = true
+			e, err := New(cfg, tr, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Reset(cfg, tr, p); err != nil {
+				t.Fatal(err)
+			}
+			second, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Fatal("reused engine + indexed policy diverged from first run")
+			}
+		})
+	}
+}

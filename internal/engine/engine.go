@@ -181,6 +181,7 @@ type simJob struct {
 	firstWave    int // count of first-wave reduces started
 	typicalWave  int // count of typical-wave reduces started
 	slowstartMin int
+	seq          int // arrival order; tie-break for the preemption index
 
 	// retryMaps holds task indices killed by preemption, re-executed
 	// before fresh indices are drawn.
@@ -219,6 +220,20 @@ type Engine struct {
 	freeReduce int
 	remaining  int
 	ran        bool // Run consumed this arming; Reset re-arms
+
+	// Policy capability dispatch, resolved once per Reset so the hot
+	// path never repeats a type assertion. batch non-nil selects the
+	// sub-linear allocation fast path (DESIGN.md §11); arrive is the
+	// paper-interface arrival hook used on the scan path.
+	batch  sched.BatchPolicy
+	arrive sched.ArrivalAware
+
+	// preemptIdx, allocated only under PreemptMapTasks, indexes active
+	// jobs by latest effective deadline (ties: earliest arrival seq)
+	// with "has running map tasks" as the eligibility bit, replacing
+	// preemptFor's O(active) victim rescan with an O(1) query.
+	preemptIdx *sched.Tournament
+	arrivalSeq int
 
 	// sink mirrors cfg.Sink; every emission is guarded by a nil check
 	// so the disabled path stays allocation- and branch-cheap.
@@ -288,6 +303,28 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 	e.freeReduce = cfg.ReduceSlots
 	e.remaining = n
 	e.ran = false
+	e.batch, _ = policy.(sched.BatchPolicy)
+	if e.batch != nil {
+		e.batch.ResetQueue()
+	}
+	e.arrive, _ = policy.(sched.ArrivalAware)
+	e.arrivalSeq = 0
+	switch {
+	case !cfg.PreemptMapTasks:
+		e.preemptIdx = nil
+	case e.preemptIdx == nil:
+		e.preemptIdx = sched.NewTournament(
+			func(a, b *sched.JobInfo) bool {
+				if da, db := a.EffectiveDeadline(), b.EffectiveDeadline(); da != db {
+					return da > db // latest deadline wins the victim tournament
+				}
+				return e.jobByID(a.ID).seq < e.jobByID(b.ID).seq
+			},
+			func(j *sched.JobInfo) bool { return len(e.jobByID(j.ID).runningMaps) > 0 },
+		)
+	default:
+		e.preemptIdx.Reset()
+	}
 	e.preemptions = 0
 	e.fillerPatches = 0
 	e.mapSlotAllocs = 0
@@ -335,6 +372,7 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 		sj.firstWave = 0
 		sj.typicalWave = 0
 		sj.slowstartMin = slowstart
+		sj.seq = 0
 		sj.retryMaps = sj.retryMaps[:0]
 		sj.fillers = sj.fillers[:0]
 		sj.mapStageEvent = false
@@ -468,9 +506,16 @@ func (e *Engine) handle(ev *des.Event) error {
 
 // allocate is the slot-allocation step run after every event: while free
 // slots remain and the policy nominates jobs, reserve slots and emit
-// task-arrival events.
+// task-arrival events. A BatchPolicy hands out all free slots in one
+// call per task kind; the two paths produce identical event sequences
+// (the differential suite replays every policy on both and compares
+// outcomes and observability streams byte for byte).
 func (e *Engine) allocate() {
 	now := e.clock.Now()
+	if e.batch != nil {
+		e.allocateBatch(now)
+		return
+	}
 	for e.freeMap > 0 {
 		idx := e.policy.ChooseNextMapTask(e.active)
 		if idx < 0 {
@@ -501,13 +546,50 @@ func (e *Engine) allocate() {
 	}
 }
 
+// allocateBatch is the indexed fast path: one AssignMapSlots and one
+// AssignReduceSlots call cover the whole allocation round. The policy
+// increments ScheduledMaps/ScheduledReduces per grant (the BatchPolicy
+// contract), so only the engine-side bookkeeping happens here — in the
+// same order the scan path would apply it.
+func (e *Engine) allocateBatch(now float64) {
+	if e.freeMap > 0 {
+		for _, idx := range e.batch.AssignMapSlots(e.active, e.freeMap) {
+			info := e.active[idx]
+			e.freeMap--
+			e.mapSlotAllocs++
+			e.q.Push(now, evMapTaskArrival, info.ID, nil)
+			if e.sink != nil {
+				e.emit(obs.KindMapSlotAlloc, info.ID, -1, 0, 0)
+			}
+		}
+	}
+	if e.freeReduce > 0 {
+		for _, idx := range e.batch.AssignReduceSlots(e.active, e.freeReduce) {
+			info := e.active[idx]
+			e.freeReduce--
+			e.reduceSlotAllocs++
+			e.q.Push(now, evReduceTaskArrival, info.ID, nil)
+			if e.sink != nil {
+				e.emit(obs.KindReduceSlotAlloc, info.ID, -1, 0, 0)
+			}
+		}
+	}
+}
+
 func (e *Engine) onJobArrival(sj *simJob) {
+	sj.seq = e.arrivalSeq
+	e.arrivalSeq++
 	e.active = append(e.active, &sj.info)
 	if e.sink != nil {
 		e.emit(obs.KindJobArrival, sj.info.ID, -1, 0, 0)
 	}
-	if aa, ok := e.policy.(sched.ArrivalAware); ok {
-		aa.OnJobArrival(&sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
+	if e.batch != nil {
+		e.batch.OnJobAdmit(&sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
+	} else if e.arrive != nil {
+		e.arrive.OnJobArrival(&sj.info, e.cfg.MapSlots, e.cfg.ReduceSlots)
+	}
+	if e.preemptIdx != nil {
+		e.preemptIdx.Add(&sj.info)
 	}
 	if e.cfg.PreemptMapTasks {
 		e.preemptFor(sj)
@@ -528,57 +610,59 @@ func (e *Engine) preemptFor(sj *simJob) {
 	}
 	for e.freeMap < want {
 		victim := e.latestDeadlineVictim(sj.info.Deadline)
-		if victim == nil {
+		if victim == nil || !e.preemptVictim(victim) {
 			return
-		}
-		// Kill the victim's most recently scheduled running map (the one
-		// with the most remaining work under FIFO duration replay).
-		var killTask = -1
-		var killEv *des.Event
-		for task, ev := range victim.runningMaps {
-			if killEv == nil || ev.Time > killEv.Time {
-				killTask, killEv = task, ev
-			}
-		}
-		if killEv == nil {
-			return
-		}
-		e.q.Remove(killEv)
-		e.q.Free(killEv)
-		delete(victim.runningMaps, killTask)
-		victim.retryMaps = append(victim.retryMaps, killTask)
-		victim.info.ScheduledMaps--
-		victim.out.PreemptedMaps++
-		e.preemptions++
-		e.freeMap++
-		if e.sink != nil {
-			e.emit(obs.KindPreempt, victim.info.ID, killTask, 0, 0)
-			e.emit(obs.KindMapSlotRelease, victim.info.ID, killTask, 0, 0)
 		}
 	}
 }
 
-// latestDeadlineVictim returns the running job with the latest effective
-// deadline strictly later than `than`, or nil.
-func (e *Engine) latestDeadlineVictim(than float64) *simJob {
-	var victim *simJob
-	victimDeadline := than
-	for _, info := range e.active {
-		if info.Deadline <= 0 {
-			// No deadline sorts last under EDF: always preemptible.
-			if sj := e.jobByID(info.ID); len(sj.runningMaps) > 0 {
-				return sj
-			}
-			continue
-		}
-		if info.Deadline > victimDeadline {
-			if sj := e.jobByID(info.ID); len(sj.runningMaps) > 0 {
-				victim = sj
-				victimDeadline = info.Deadline
-			}
+// preemptVictim kills the victim's most recently scheduled running map
+// (the one with the most remaining work under FIFO duration replay),
+// returning its task index to the victim's retry queue. Reports whether
+// a task was actually killed.
+func (e *Engine) preemptVictim(victim *simJob) bool {
+	killTask := -1
+	var killEv *des.Event
+	for task, ev := range victim.runningMaps {
+		if killEv == nil || ev.Time > killEv.Time {
+			killTask, killEv = task, ev
 		}
 	}
-	return victim
+	if killEv == nil {
+		return false
+	}
+	e.q.Remove(killEv)
+	e.q.Free(killEv)
+	delete(victim.runningMaps, killTask)
+	victim.retryMaps = append(victim.retryMaps, killTask)
+	victim.info.ScheduledMaps--
+	victim.out.PreemptedMaps++
+	e.preemptions++
+	e.freeMap++
+	e.preemptIdx.Fix(&victim.info)
+	if e.batch != nil {
+		e.batch.OnJobUpdate(&victim.info)
+	}
+	if e.sink != nil {
+		e.emit(obs.KindPreempt, victim.info.ID, killTask, 0, 0)
+		e.emit(obs.KindMapSlotRelease, victim.info.ID, killTask, 0, 0)
+	}
+	return true
+}
+
+// latestDeadlineVictim returns the running job with the latest effective
+// deadline strictly later than `than`, or nil. The preemption index
+// maximizes (effective deadline, earliest arrival) over jobs with
+// running maps, so one winner query plus the strictly-later check
+// replaces the old O(active) rescan per kill; the winner is the same
+// job the scan would have picked (no-deadline jobs carry +Inf and so
+// still win outright, ties resolve to the earliest-arrived victim).
+func (e *Engine) latestDeadlineVictim(than float64) *simJob {
+	info := e.preemptIdx.Best()
+	if info == nil || info.EffectiveDeadline() <= than {
+		return nil
+	}
+	return e.jobByID(info.ID)
 }
 
 func (e *Engine) onMapTaskArrival(sj *simJob) {
@@ -598,6 +682,7 @@ func (e *Engine) onMapTaskArrival(sj *simJob) {
 	ev := e.q.PushTask(now+dur, evMapTaskDeparture, sj.info.ID, i)
 	if e.cfg.PreemptMapTasks {
 		sj.runningMaps[i] = ev
+		e.preemptIdx.Fix(&sj.info) // job may have become a preemption candidate
 	}
 	if e.sink != nil {
 		e.emit(obs.KindMapTaskStart, sj.info.ID, i, now+dur, 0)
@@ -617,6 +702,12 @@ func (e *Engine) onMapTaskDeparture(sj *simJob, task int) {
 	}
 	if !sj.info.ReduceReady && sj.info.CompletedMaps >= sj.slowstartMin {
 		sj.info.ReduceReady = true
+	}
+	if e.batch != nil {
+		e.batch.OnJobUpdate(&sj.info)
+	}
+	if e.preemptIdx != nil {
+		e.preemptIdx.Fix(&sj.info) // one fewer running map
 	}
 	if sj.info.MapsDone() && !sj.mapStageEvent {
 		sj.mapStageEvent = true
@@ -707,6 +798,9 @@ func (e *Engine) onReduceTaskDeparture(sj *simJob, task int) {
 	sj.info.CompletedReduces++
 	sj.out.ReduceTasksRun++
 	e.freeReduce++
+	if e.batch != nil {
+		e.batch.OnJobUpdate(&sj.info)
+	}
 	if e.sink != nil {
 		e.emit(obs.KindReduceTaskFinish, sj.info.ID, task, 0, 0)
 		e.emit(obs.KindReduceSlotRelease, sj.info.ID, task, 0, 0)
@@ -731,6 +825,12 @@ func (e *Engine) onJobDeparture(sj *simJob) {
 	e.remaining--
 	if e.sink != nil {
 		e.emit(obs.KindJobDeparture, sj.info.ID, -1, 0, 0)
+	}
+	if e.batch != nil {
+		e.batch.OnJobDepart(&sj.info)
+	}
+	if e.preemptIdx != nil {
+		e.preemptIdx.Remove(&sj.info)
 	}
 	for i, info := range e.active {
 		if info == &sj.info {

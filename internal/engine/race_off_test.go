@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceDetectorEnabled is false in ordinary test builds; see
+// race_on_test.go.
+const raceDetectorEnabled = false

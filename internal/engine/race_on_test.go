@@ -1,0 +1,11 @@
+//go:build race
+
+package engine
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The differential suite caps its largest (5k-job) tier when the
+// detector is on: the reference-scan replays there are O(events × jobs)
+// by design, and the detector's ~10× memory-access overhead would push
+// one test past the whole suite's budget without proving anything the
+// 1k tier does not.
+const raceDetectorEnabled = true

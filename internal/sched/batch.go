@@ -1,0 +1,656 @@
+package sched
+
+// This file adds the optional sub-linear fast path to the paper's
+// narrow policy interface (DESIGN.md §11). The reference policies in
+// sched.go / extra.go nominate one job per call with an O(active-jobs)
+// argmin scan; the engine consults them once per free slot after every
+// event, which is O(slots × jobs) per event — quadratic at multi-tenant
+// scale. A BatchPolicy instead maintains an incrementally updated
+// Tournament index (see index.go) keyed by the policy's ordering and
+// hands out all free slots in one call. The reference scan stays the
+// correctness oracle: the engine's differential suite replays every
+// policy on both paths and asserts byte-identical outcomes.
+
+// BatchPolicy is the optional engine fast path. The engine detects it
+// with one type assertion at Reset and then:
+//
+//   - routes job lifecycle through OnJobAdmit / OnJobDepart instead of
+//     the ArrivalAware hook (OnJobAdmit subsumes it — IndexedMinEDF
+//     sizes its allocation there exactly like MinEDF.OnJobArrival);
+//   - calls OnJobUpdate after every engine-side mutation of a job's
+//     scheduler-visible counters (task completions, preemption kills),
+//     so the index never goes stale;
+//   - replaces the per-slot ChooseNext* loop with one AssignMapSlots /
+//     AssignReduceSlots call per allocation round;
+//   - calls ResetQueue when the engine is reset, so pooled engine reuse
+//     re-arms the index along with everything else.
+//
+// Assign* returns the chosen queue positions in assignment order and
+// must increment the nominated job's ScheduledMaps / ScheduledReduces
+// itself for each grant — exactly the state change the engine applies
+// between successive ChooseNext* calls on the scan path — so that later
+// grants in the same batch see the earlier ones. The returned slice is
+// valid until the next Assign* call on the same policy.
+//
+// The hooks are deliberately *not* named OnJobArrival: a BatchPolicy
+// must not implement ArrivalAware, so that callers which know only the
+// paper's narrow interface (the cluster emulator) never feed a partial
+// view into the index. For such callers the indexed policies fall back
+// to the reference scan (see chooseMap/chooseReduce) and remain
+// correct, just not sub-linear.
+//
+// A BatchPolicy carries per-engine mutable state: never share one
+// instance across concurrent engines (use SweepConfig.PolicyFactory).
+type BatchPolicy interface {
+	Policy
+
+	OnJobAdmit(j *JobInfo, totalMapSlots, totalReduceSlots int)
+	OnJobDepart(j *JobInfo)
+	OnJobUpdate(j *JobInfo)
+	ResetQueue()
+
+	AssignMapSlots(q []*JobInfo, n int) []int
+	AssignReduceSlots(q []*JobInfo, n int) []int
+}
+
+// Indexed returns the sub-linear indexed equivalent of a built-in
+// policy: FIFO, MaxEDF, MinEDF (any estimator), Fair, and Capacity map
+// to their BatchPolicy counterparts; any other policy (DynamicPriority,
+// user-defined) is returned unchanged and keeps the reference scan
+// path. The returned policy is stateful — one instance per engine.
+func Indexed(p Policy) Policy {
+	switch pp := p.(type) {
+	case FIFO:
+		return NewIndexedFIFO()
+	case MaxEDF:
+		return NewIndexedMaxEDF()
+	case MinEDF:
+		return NewIndexedMinEDF(pp.Estimate)
+	case Fair:
+		return NewIndexedFair()
+	case Capacity:
+		return NewIndexedCapacity(pp)
+	default:
+		return p
+	}
+}
+
+// queueMirror tracks each indexed job's position in the engine's active
+// queue, mirroring the engine's append-on-arrival / ordered-removal
+// discipline so Assign* can return queue indices without scanning.
+type queueMirror struct {
+	order   []*JobInfo
+	pos     map[int]int
+	scratch []int
+}
+
+func (m *queueMirror) admit(j *JobInfo) {
+	if m.pos == nil {
+		m.pos = make(map[int]int)
+	}
+	m.pos[j.ID] = len(m.order)
+	m.order = append(m.order, j)
+}
+
+func (m *queueMirror) depart(j *JobInfo) {
+	p, ok := m.pos[j.ID]
+	if !ok {
+		return
+	}
+	delete(m.pos, j.ID)
+	copy(m.order[p:], m.order[p+1:])
+	m.order[len(m.order)-1] = nil
+	m.order = m.order[:len(m.order)-1]
+	for i := p; i < len(m.order); i++ {
+		m.pos[m.order[i].ID] = i
+	}
+}
+
+func (m *queueMirror) reset() {
+	for i := range m.order {
+		m.order[i] = nil
+	}
+	m.order = m.order[:0]
+	clear(m.pos)
+	m.scratch = m.scratch[:0]
+}
+
+// synced reports whether the mirror matches the queue the caller passed:
+// true only when every lifecycle hook has been delivered, i.e. the
+// caller is the engine's fast path. Callers that bypass the hooks (the
+// cluster emulator's masked queues, hand-built test queues) fail this
+// check and get the reference scan instead.
+func (m *queueMirror) synced(q []*JobInfo) bool {
+	if len(m.order) != len(q) {
+		return false
+	}
+	// Cheap spot checks instead of a full compare: the engine appends on
+	// arrival and removes in order, so ends matching implies the rest.
+	if n := len(q); n > 0 && (q[0] != m.order[0] || q[n-1] != m.order[n-1]) {
+		return false
+	}
+	return true
+}
+
+// indexedPair is one map tournament plus one reduce tournament over the
+// mirrored queue — the whole index for every single-queue policy.
+type indexedPair struct {
+	queueMirror
+	mapT, redT *Tournament
+}
+
+func newIndexedPair(mapBetter, redBetter func(a, b *JobInfo) bool) indexedPair {
+	return indexedPair{
+		mapT: NewTournament(mapBetter, (*JobInfo).wantsMapSlot),
+		redT: NewTournament(redBetter, (*JobInfo).wantsReduceSlot),
+	}
+}
+
+func (ix *indexedPair) admitJob(j *JobInfo) {
+	ix.admit(j)
+	ix.mapT.Add(j)
+	ix.redT.Add(j)
+}
+
+func (ix *indexedPair) departJob(j *JobInfo) {
+	ix.depart(j)
+	ix.mapT.Remove(j)
+	ix.redT.Remove(j)
+}
+
+func (ix *indexedPair) updateJob(j *JobInfo) {
+	ix.mapT.Fix(j)
+	ix.redT.Fix(j)
+}
+
+func (ix *indexedPair) resetQueue() {
+	ix.reset()
+	ix.mapT.Reset()
+	ix.redT.Reset()
+}
+
+func (ix *indexedPair) chooseMap(q []*JobInfo, fallback Policy) int {
+	if !ix.synced(q) {
+		return fallback.ChooseNextMapTask(q)
+	}
+	j := ix.mapT.Best()
+	if j == nil {
+		return -1
+	}
+	return ix.pos[j.ID]
+}
+
+func (ix *indexedPair) chooseReduce(q []*JobInfo, fallback Policy) int {
+	if !ix.synced(q) {
+		return fallback.ChooseNextReduceTask(q)
+	}
+	j := ix.redT.Best()
+	if j == nil {
+		return -1
+	}
+	return ix.pos[j.ID]
+}
+
+func (ix *indexedPair) assignMaps(q []*JobInfo, n int, fallback Policy) []int {
+	ix.scratch = ix.scratch[:0]
+	if !ix.synced(q) {
+		for len(ix.scratch) < n {
+			idx := fallback.ChooseNextMapTask(q)
+			if idx < 0 {
+				break
+			}
+			q[idx].ScheduledMaps++
+			ix.scratch = append(ix.scratch, idx)
+		}
+		return ix.scratch
+	}
+	for len(ix.scratch) < n {
+		j := ix.mapT.Best()
+		if j == nil {
+			break
+		}
+		j.ScheduledMaps++
+		ix.mapT.Fix(j) // a map grant never changes reduce eligibility or keys
+		ix.scratch = append(ix.scratch, ix.pos[j.ID])
+	}
+	return ix.scratch
+}
+
+func (ix *indexedPair) assignReduces(q []*JobInfo, n int, fallback Policy) []int {
+	ix.scratch = ix.scratch[:0]
+	if !ix.synced(q) {
+		for len(ix.scratch) < n {
+			idx := fallback.ChooseNextReduceTask(q)
+			if idx < 0 {
+				break
+			}
+			q[idx].ScheduledReduces++
+			ix.scratch = append(ix.scratch, idx)
+		}
+		return ix.scratch
+	}
+	for len(ix.scratch) < n {
+		j := ix.redT.Best()
+		if j == nil {
+			break
+		}
+		j.ScheduledReduces++
+		ix.redT.Fix(j)
+		ix.scratch = append(ix.scratch, ix.pos[j.ID])
+	}
+	return ix.scratch
+}
+
+// IndexedFIFO is FIFO over an arrival-ordered tournament. Build with
+// NewIndexedFIFO; one instance per engine.
+type IndexedFIFO struct{ ix indexedPair }
+
+// NewIndexedFIFO returns the indexed FIFO fast path.
+func NewIndexedFIFO() *IndexedFIFO {
+	return &IndexedFIFO{ix: newIndexedPair(byArrival, byArrival)}
+}
+
+// Name implements Policy (same name as the reference scan — it is the
+// same policy, only the lookup structure differs).
+func (p *IndexedFIFO) Name() string { return FIFO{}.Name() }
+
+// ChooseNextMapTask implements Policy.
+func (p *IndexedFIFO) ChooseNextMapTask(q []*JobInfo) int { return p.ix.chooseMap(q, FIFO{}) }
+
+// ChooseNextReduceTask implements Policy.
+func (p *IndexedFIFO) ChooseNextReduceTask(q []*JobInfo) int { return p.ix.chooseReduce(q, FIFO{}) }
+
+// OnJobAdmit implements BatchPolicy.
+func (p *IndexedFIFO) OnJobAdmit(j *JobInfo, _, _ int) { p.ix.admitJob(j) }
+
+// OnJobDepart implements BatchPolicy.
+func (p *IndexedFIFO) OnJobDepart(j *JobInfo) { p.ix.departJob(j) }
+
+// OnJobUpdate implements BatchPolicy.
+func (p *IndexedFIFO) OnJobUpdate(j *JobInfo) { p.ix.updateJob(j) }
+
+// ResetQueue implements BatchPolicy.
+func (p *IndexedFIFO) ResetQueue() { p.ix.resetQueue() }
+
+// AssignMapSlots implements BatchPolicy.
+func (p *IndexedFIFO) AssignMapSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignMaps(q, n, FIFO{})
+}
+
+// AssignReduceSlots implements BatchPolicy.
+func (p *IndexedFIFO) AssignReduceSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignReduces(q, n, FIFO{})
+}
+
+// IndexedMaxEDF is MaxEDF over a deadline-ordered tournament.
+type IndexedMaxEDF struct{ ix indexedPair }
+
+// NewIndexedMaxEDF returns the indexed MaxEDF fast path.
+func NewIndexedMaxEDF() *IndexedMaxEDF {
+	return &IndexedMaxEDF{ix: newIndexedPair(byDeadline, byDeadline)}
+}
+
+// Name implements Policy.
+func (p *IndexedMaxEDF) Name() string { return MaxEDF{}.Name() }
+
+// ChooseNextMapTask implements Policy.
+func (p *IndexedMaxEDF) ChooseNextMapTask(q []*JobInfo) int { return p.ix.chooseMap(q, MaxEDF{}) }
+
+// ChooseNextReduceTask implements Policy.
+func (p *IndexedMaxEDF) ChooseNextReduceTask(q []*JobInfo) int { return p.ix.chooseReduce(q, MaxEDF{}) }
+
+// OnJobAdmit implements BatchPolicy.
+func (p *IndexedMaxEDF) OnJobAdmit(j *JobInfo, _, _ int) { p.ix.admitJob(j) }
+
+// OnJobDepart implements BatchPolicy.
+func (p *IndexedMaxEDF) OnJobDepart(j *JobInfo) { p.ix.departJob(j) }
+
+// OnJobUpdate implements BatchPolicy.
+func (p *IndexedMaxEDF) OnJobUpdate(j *JobInfo) { p.ix.updateJob(j) }
+
+// ResetQueue implements BatchPolicy.
+func (p *IndexedMaxEDF) ResetQueue() { p.ix.resetQueue() }
+
+// AssignMapSlots implements BatchPolicy.
+func (p *IndexedMaxEDF) AssignMapSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignMaps(q, n, MaxEDF{})
+}
+
+// AssignReduceSlots implements BatchPolicy.
+func (p *IndexedMaxEDF) AssignReduceSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignReduces(q, n, MaxEDF{})
+}
+
+// IndexedMinEDF is MinEDF over a deadline-ordered tournament: the
+// ARIA-model allocation sizing happens in OnJobAdmit exactly as the
+// reference MinEDF does in OnJobArrival; the WantedMaps/WantedReduces
+// caps flow into eligibility through wantsMapSlot/wantsReduceSlot, so
+// the tournament's bitset enforces them.
+type IndexedMinEDF struct {
+	est Estimator
+	ix  indexedPair
+}
+
+// NewIndexedMinEDF returns the indexed MinEDF fast path for an
+// estimator (EstimatorAvg is the paper default).
+func NewIndexedMinEDF(est Estimator) *IndexedMinEDF {
+	return &IndexedMinEDF{est: est, ix: newIndexedPair(byDeadline, byDeadline)}
+}
+
+// scan returns the reference policy this index mirrors.
+func (p *IndexedMinEDF) scan() MinEDF { return MinEDF{Estimate: p.est} }
+
+// Name implements Policy.
+func (p *IndexedMinEDF) Name() string { return p.scan().Name() }
+
+// ChooseNextMapTask implements Policy.
+func (p *IndexedMinEDF) ChooseNextMapTask(q []*JobInfo) int { return p.ix.chooseMap(q, p.scan()) }
+
+// ChooseNextReduceTask implements Policy.
+func (p *IndexedMinEDF) ChooseNextReduceTask(q []*JobInfo) int { return p.ix.chooseReduce(q, p.scan()) }
+
+// OnJobAdmit implements BatchPolicy: size the minimal allocation, then
+// index the job.
+func (p *IndexedMinEDF) OnJobAdmit(j *JobInfo, totalMapSlots, totalReduceSlots int) {
+	p.scan().OnJobArrival(j, totalMapSlots, totalReduceSlots)
+	p.ix.admitJob(j)
+}
+
+// OnJobDepart implements BatchPolicy.
+func (p *IndexedMinEDF) OnJobDepart(j *JobInfo) { p.ix.departJob(j) }
+
+// OnJobUpdate implements BatchPolicy.
+func (p *IndexedMinEDF) OnJobUpdate(j *JobInfo) { p.ix.updateJob(j) }
+
+// ResetQueue implements BatchPolicy.
+func (p *IndexedMinEDF) ResetQueue() { p.ix.resetQueue() }
+
+// AssignMapSlots implements BatchPolicy.
+func (p *IndexedMinEDF) AssignMapSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignMaps(q, n, p.scan())
+}
+
+// AssignReduceSlots implements BatchPolicy.
+func (p *IndexedMinEDF) AssignReduceSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignReduces(q, n, p.scan())
+}
+
+// fairMapBetter orders by fewest running maps, then arrival, then ID —
+// the Fair scan's comparator. The running count is fully dynamic; every
+// grant and completion reaches the tournament through Fix.
+func fairMapBetter(a, b *JobInfo) bool {
+	if ra, rb := a.RunningMaps(), b.RunningMaps(); ra != rb {
+		return ra < rb
+	}
+	return byArrival(a, b)
+}
+
+func fairReduceBetter(a, b *JobInfo) bool {
+	if ra, rb := a.RunningReduces(), b.RunningReduces(); ra != rb {
+		return ra < rb
+	}
+	return byArrival(a, b)
+}
+
+// IndexedFair is the Fair scheduler over a running-count-ordered
+// tournament.
+type IndexedFair struct{ ix indexedPair }
+
+// NewIndexedFair returns the indexed Fair fast path.
+func NewIndexedFair() *IndexedFair {
+	return &IndexedFair{ix: newIndexedPair(fairMapBetter, fairReduceBetter)}
+}
+
+// Name implements Policy.
+func (p *IndexedFair) Name() string { return Fair{}.Name() }
+
+// ChooseNextMapTask implements Policy.
+func (p *IndexedFair) ChooseNextMapTask(q []*JobInfo) int { return p.ix.chooseMap(q, Fair{}) }
+
+// ChooseNextReduceTask implements Policy.
+func (p *IndexedFair) ChooseNextReduceTask(q []*JobInfo) int { return p.ix.chooseReduce(q, Fair{}) }
+
+// OnJobAdmit implements BatchPolicy.
+func (p *IndexedFair) OnJobAdmit(j *JobInfo, _, _ int) { p.ix.admitJob(j) }
+
+// OnJobDepart implements BatchPolicy.
+func (p *IndexedFair) OnJobDepart(j *JobInfo) { p.ix.departJob(j) }
+
+// OnJobUpdate implements BatchPolicy.
+func (p *IndexedFair) OnJobUpdate(j *JobInfo) { p.ix.updateJob(j) }
+
+// ResetQueue implements BatchPolicy.
+func (p *IndexedFair) ResetQueue() { p.ix.resetQueue() }
+
+// AssignMapSlots implements BatchPolicy.
+func (p *IndexedFair) AssignMapSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignMaps(q, n, Fair{})
+}
+
+// AssignReduceSlots implements BatchPolicy.
+func (p *IndexedFair) AssignReduceSlots(q []*JobInfo, n int) []int {
+	return p.ix.assignReduces(q, n, Fair{})
+}
+
+// IndexedCapacity is the Capacity scheduler with one arrival-ordered
+// tournament per queue plus incrementally maintained per-queue running
+// counts. Slot assignment picks the most underserved queue (smallest
+// running/share ratio, ties by the queue head's arrival order — the
+// scan's exact tie-break) and takes that queue's FIFO head: O(queues +
+// log jobs) per slot instead of O(jobs).
+//
+// The job→queue mapping is cached at admit time, so a custom QueueOf
+// must be a pure function of the job (the scan re-evaluates it per
+// decision; any sane assignment — and the default ID-modulo one — is
+// stable, making the paths identical).
+type IndexedCapacity struct {
+	cfg Capacity // queue mapping + fallback scan
+
+	queueMirror
+	mapTs, redTs     []*Tournament
+	mapLoad, redLoad []int
+
+	// jobQueue / lastRun cache each job's queue and the running counts
+	// last folded into the loads, so updates are O(1) deltas.
+	jobQueue map[int]int
+	lastRunM map[int]int
+	lastRunR map[int]int
+}
+
+// NewIndexedCapacity returns the indexed Capacity fast path for the
+// given queue configuration.
+func NewIndexedCapacity(cfg Capacity) *IndexedCapacity {
+	nq := len(cfg.Shares)
+	if nq == 0 {
+		nq = 1
+	}
+	p := &IndexedCapacity{
+		cfg:      cfg,
+		mapTs:    make([]*Tournament, nq),
+		redTs:    make([]*Tournament, nq),
+		mapLoad:  make([]int, nq),
+		redLoad:  make([]int, nq),
+		jobQueue: make(map[int]int),
+		lastRunM: make(map[int]int),
+		lastRunR: make(map[int]int),
+	}
+	for i := range p.mapTs {
+		p.mapTs[i] = NewTournament(byArrival, (*JobInfo).wantsMapSlot)
+		p.redTs[i] = NewTournament(byArrival, (*JobInfo).wantsReduceSlot)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *IndexedCapacity) Name() string { return p.cfg.Name() }
+
+// share returns queue qi's normalizing share, matching the scan's
+// guard against nonpositive shares.
+func (p *IndexedCapacity) share(qi int) float64 {
+	if len(p.cfg.Shares) == 0 {
+		return 1
+	}
+	if s := p.cfg.Shares[qi]; s > 0 {
+		return s
+	}
+	return 1e-9
+}
+
+// bestQueue returns the winning (queue, job) under the scan's ordering:
+// smallest running/share ratio among queues with an eligible job,
+// breaking ratio ties by the candidate jobs' arrival order.
+func (p *IndexedCapacity) bestQueue(ts []*Tournament, load []int) (int, *JobInfo) {
+	bestQ, bestJ := -1, (*JobInfo)(nil)
+	var bestRatio float64
+	for qi, t := range ts {
+		j := t.Best()
+		if j == nil {
+			continue
+		}
+		ratio := float64(load[qi]) / p.share(qi)
+		if bestJ == nil || ratio < bestRatio ||
+			(ratio == bestRatio && byArrival(j, bestJ)) {
+			bestQ, bestJ, bestRatio = qi, j, ratio
+		}
+	}
+	return bestQ, bestJ
+}
+
+// ChooseNextMapTask implements Policy.
+func (p *IndexedCapacity) ChooseNextMapTask(q []*JobInfo) int {
+	if !p.synced(q) {
+		return p.cfg.ChooseNextMapTask(q)
+	}
+	if _, j := p.bestQueue(p.mapTs, p.mapLoad); j != nil {
+		return p.pos[j.ID]
+	}
+	return -1
+}
+
+// ChooseNextReduceTask implements Policy.
+func (p *IndexedCapacity) ChooseNextReduceTask(q []*JobInfo) int {
+	if !p.synced(q) {
+		return p.cfg.ChooseNextReduceTask(q)
+	}
+	if _, j := p.bestQueue(p.redTs, p.redLoad); j != nil {
+		return p.pos[j.ID]
+	}
+	return -1
+}
+
+// OnJobAdmit implements BatchPolicy.
+func (p *IndexedCapacity) OnJobAdmit(j *JobInfo, _, _ int) {
+	p.admit(j)
+	qi := p.cfg.queue(j)
+	p.jobQueue[j.ID] = qi
+	runM, runR := j.RunningMaps(), j.RunningReduces()
+	p.lastRunM[j.ID], p.lastRunR[j.ID] = runM, runR
+	p.mapLoad[qi] += runM
+	p.redLoad[qi] += runR
+	p.mapTs[qi].Add(j)
+	p.redTs[qi].Add(j)
+}
+
+// OnJobDepart implements BatchPolicy.
+func (p *IndexedCapacity) OnJobDepart(j *JobInfo) {
+	qi, ok := p.jobQueue[j.ID]
+	if !ok {
+		return
+	}
+	p.depart(j)
+	p.mapLoad[qi] -= p.lastRunM[j.ID]
+	p.redLoad[qi] -= p.lastRunR[j.ID]
+	delete(p.jobQueue, j.ID)
+	delete(p.lastRunM, j.ID)
+	delete(p.lastRunR, j.ID)
+	p.mapTs[qi].Remove(j)
+	p.redTs[qi].Remove(j)
+}
+
+// OnJobUpdate implements BatchPolicy.
+func (p *IndexedCapacity) OnJobUpdate(j *JobInfo) {
+	qi, ok := p.jobQueue[j.ID]
+	if !ok {
+		return
+	}
+	if runM := j.RunningMaps(); runM != p.lastRunM[j.ID] {
+		p.mapLoad[qi] += runM - p.lastRunM[j.ID]
+		p.lastRunM[j.ID] = runM
+	}
+	if runR := j.RunningReduces(); runR != p.lastRunR[j.ID] {
+		p.redLoad[qi] += runR - p.lastRunR[j.ID]
+		p.lastRunR[j.ID] = runR
+	}
+	p.mapTs[qi].Fix(j)
+	p.redTs[qi].Fix(j)
+}
+
+// ResetQueue implements BatchPolicy.
+func (p *IndexedCapacity) ResetQueue() {
+	p.reset()
+	for i := range p.mapTs {
+		p.mapTs[i].Reset()
+		p.redTs[i].Reset()
+		p.mapLoad[i] = 0
+		p.redLoad[i] = 0
+	}
+	clear(p.jobQueue)
+	clear(p.lastRunM)
+	clear(p.lastRunR)
+}
+
+// AssignMapSlots implements BatchPolicy.
+func (p *IndexedCapacity) AssignMapSlots(q []*JobInfo, n int) []int {
+	p.scratch = p.scratch[:0]
+	if !p.synced(q) {
+		for len(p.scratch) < n {
+			idx := p.cfg.ChooseNextMapTask(q)
+			if idx < 0 {
+				break
+			}
+			q[idx].ScheduledMaps++
+			p.scratch = append(p.scratch, idx)
+		}
+		return p.scratch
+	}
+	for len(p.scratch) < n {
+		qi, j := p.bestQueue(p.mapTs, p.mapLoad)
+		if j == nil {
+			break
+		}
+		j.ScheduledMaps++
+		p.mapLoad[qi]++ // one more running map in the winning queue
+		p.lastRunM[j.ID]++
+		p.mapTs[qi].Fix(j)
+		p.scratch = append(p.scratch, p.pos[j.ID])
+	}
+	return p.scratch
+}
+
+// AssignReduceSlots implements BatchPolicy.
+func (p *IndexedCapacity) AssignReduceSlots(q []*JobInfo, n int) []int {
+	p.scratch = p.scratch[:0]
+	if !p.synced(q) {
+		for len(p.scratch) < n {
+			idx := p.cfg.ChooseNextReduceTask(q)
+			if idx < 0 {
+				break
+			}
+			q[idx].ScheduledReduces++
+			p.scratch = append(p.scratch, idx)
+		}
+		return p.scratch
+	}
+	for len(p.scratch) < n {
+		qi, j := p.bestQueue(p.redTs, p.redLoad)
+		if j == nil {
+			break
+		}
+		j.ScheduledReduces++
+		p.redLoad[qi]++
+		p.lastRunR[j.ID]++
+		p.redTs[qi].Fix(j)
+		p.scratch = append(p.scratch, p.pos[j.ID])
+	}
+	return p.scratch
+}

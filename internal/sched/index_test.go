@@ -1,0 +1,414 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- Tournament unit tests against a naive reference ---------------------
+
+// naiveBest mirrors Tournament.Best with a plain scan over the live set.
+func naiveBest(jobs map[int]*JobInfo, better func(a, b *JobInfo) bool, eligible func(*JobInfo) bool) *JobInfo {
+	var best *JobInfo
+	for _, j := range jobs {
+		if !eligible(j) {
+			continue
+		}
+		if best == nil || better(j, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+func TestTournamentMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eligible := (*JobInfo).wantsMapSlot
+	tour := NewTournament(byDeadline, eligible)
+	live := map[int]*JobInfo{}
+	nextID := 0
+
+	check := func(step int) {
+		t.Helper()
+		want := naiveBest(live, byDeadline, eligible)
+		got := tour.Best()
+		if got != want {
+			t.Fatalf("step %d: Best() = %+v, naive scan wants %+v", step, got, want)
+		}
+		if tour.Len() != len(live) {
+			t.Fatalf("step %d: Len() = %d, want %d", step, tour.Len(), len(live))
+		}
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(live) == 0: // add, crossing the grow threshold often
+			j := mkJob(nextID, float64(rng.Intn(3)), float64(rng.Intn(3)*100), 1+rng.Intn(5), 0)
+			nextID++
+			live[j.ID] = j
+			tour.Add(j)
+		case op < 6: // remove a random live job
+			for _, j := range live {
+				delete(live, j.ID)
+				tour.Remove(j)
+				break
+			}
+		default: // mutate a random job's counters, then Fix
+			for _, j := range live {
+				if rng.Intn(2) == 0 && j.ScheduledMaps < j.NumMaps {
+					j.ScheduledMaps++
+				} else if j.CompletedMaps < j.ScheduledMaps {
+					j.CompletedMaps++
+				}
+				tour.Fix(j)
+				break
+			}
+		}
+		check(step)
+	}
+}
+
+func TestTournamentRemoveUnknownAndReAdd(t *testing.T) {
+	tour := NewTournament(byArrival, (*JobInfo).wantsMapSlot)
+	a := mkJob(1, 1, 0, 2, 0)
+	tour.Remove(a) // unknown: no-op
+	tour.Add(a)
+	tour.Add(a) // idempotent
+	if tour.Len() != 1 || tour.Best() != a {
+		t.Fatalf("Len=%d Best=%v after double add", tour.Len(), tour.Best())
+	}
+	tour.Remove(a)
+	if tour.Len() != 0 || tour.Best() != nil {
+		t.Fatalf("Len=%d Best=%v after remove", tour.Len(), tour.Best())
+	}
+}
+
+func TestTournamentResetKeepsCapacityDropsJobs(t *testing.T) {
+	tour := NewTournament(byArrival, (*JobInfo).wantsMapSlot)
+	for i := 0; i < 100; i++ {
+		tour.Add(mkJob(i, float64(i), 0, 1, 0))
+	}
+	size := tour.size
+	tour.Reset()
+	if tour.Len() != 0 || tour.Best() != nil {
+		t.Fatalf("Len=%d Best=%v after Reset", tour.Len(), tour.Best())
+	}
+	if tour.size != size {
+		t.Fatalf("Reset changed capacity: %d -> %d", size, tour.size)
+	}
+	b := mkJob(500, 3, 0, 1, 0)
+	tour.Add(b)
+	if tour.Best() != b {
+		t.Fatal("reset tournament does not accept fresh jobs")
+	}
+}
+
+// --- Scan vs indexed equivalence (satellite: tie-break property tests) ---
+
+// policyPair couples a reference scan policy with a factory for its
+// indexed equivalent (indexed policies are stateful: one per trial).
+type policyPair struct {
+	name string
+	scan Policy
+	mk   func() Policy
+}
+
+func policyPairs() []policyPair {
+	capCfg := Capacity{Shares: []float64{3, 1, 2}}
+	return []policyPair{
+		{"FIFO", FIFO{}, func() Policy { return Indexed(FIFO{}) }},
+		{"MaxEDF", MaxEDF{}, func() Policy { return Indexed(MaxEDF{}) }},
+		{"MinEDF-avg", MinEDF{}, func() Policy { return Indexed(MinEDF{}) }},
+		{"MinEDF-low", MinEDF{Estimate: EstimatorLow}, func() Policy { return Indexed(MinEDF{Estimate: EstimatorLow}) }},
+		{"MinEDF-up", MinEDF{Estimate: EstimatorUp}, func() Policy { return Indexed(MinEDF{Estimate: EstimatorUp}) }},
+		{"Fair", Fair{}, func() Policy { return Indexed(Fair{}) }},
+		{"Capacity", capCfg, func() Policy { return Indexed(capCfg) }},
+	}
+}
+
+func TestIndexedReturnsBatchPolicyForBuiltins(t *testing.T) {
+	for _, pc := range policyPairs() {
+		p := pc.mk()
+		if _, ok := p.(BatchPolicy); !ok {
+			t.Errorf("Indexed(%s) = %T, not a BatchPolicy", pc.name, p)
+		}
+		if p.Name() != pc.scan.Name() {
+			t.Errorf("Indexed(%s).Name() = %q, want %q", pc.name, p.Name(), pc.scan.Name())
+		}
+	}
+	dp := NewDynamicPriority(nil, nil)
+	if got := Indexed(dp); got != Policy(dp) {
+		t.Errorf("Indexed(DynamicPriority) = %T, want the policy unchanged", got)
+	}
+}
+
+// TestIndexedTieBreakByID pins the satellite property directly: jobs
+// with equal deadlines AND equal arrivals must resolve by job ID, and
+// the scan and indexed paths must agree on the winner.
+func TestIndexedTieBreakByID(t *testing.T) {
+	for _, pc := range policyPairs() {
+		t.Run(pc.name, func(t *testing.T) {
+			// Same arrival, same deadline, IDs shuffled relative to
+			// queue positions.
+			q := []*JobInfo{
+				mkJob(9, 4, 100, 3, 1),
+				mkJob(2, 4, 100, 3, 1),
+				mkJob(5, 4, 100, 3, 1),
+			}
+			indexed := pc.mk().(BatchPolicy)
+			for _, j := range q {
+				indexed.OnJobAdmit(j, 64, 64)
+			}
+			wantIdx := 1 // job ID 2 has the lowest ID
+			if got := pc.scan.ChooseNextMapTask(q); got != wantIdx {
+				t.Fatalf("scan map pick = %d, want %d (lowest ID)", got, wantIdx)
+			}
+			if got := indexed.ChooseNextMapTask(q); got != wantIdx {
+				t.Fatalf("indexed map pick = %d, want %d (lowest ID)", got, wantIdx)
+			}
+			if got := indexed.ChooseNextReduceTask(q); got != pc.scan.ChooseNextReduceTask(q) {
+				t.Fatalf("reduce picks disagree: indexed %d", got)
+			}
+		})
+	}
+}
+
+// randomTieQueue builds a queue designed to collide on every key:
+// arrivals and deadlines drawn from tiny value sets so equal-deadline
+// and equal-arrival ties are the norm, not the exception.
+func randomTieQueue(rng *rand.Rand, n int) []*JobInfo {
+	q := make([]*JobInfo, 0, n)
+	perm := rng.Perm(n * 2)
+	for i := 0; i < n; i++ {
+		j := mkJob(perm[i], float64(rng.Intn(3)), float64(rng.Intn(3)*100), 1+rng.Intn(4), rng.Intn(3))
+		j.ReduceReady = rng.Intn(2) == 0
+		q = append(q, j)
+	}
+	return q
+}
+
+// mutateJob applies one random legal counter transition, keeping the
+// invariants Scheduled <= Num and Completed <= Scheduled.
+func mutateJob(rng *rand.Rand, j *JobInfo) {
+	switch rng.Intn(5) {
+	case 0:
+		if j.ScheduledMaps < j.NumMaps {
+			j.ScheduledMaps++
+		}
+	case 1:
+		if j.CompletedMaps < j.ScheduledMaps {
+			j.CompletedMaps++
+		}
+	case 2:
+		if j.ScheduledReduces < j.NumReduces {
+			j.ScheduledReduces++
+		}
+	case 3:
+		if j.CompletedReduces < j.ScheduledReduces {
+			j.CompletedReduces++
+		}
+	default:
+		if !j.ReduceReady && j.CompletedMaps > 0 {
+			j.ReduceReady = true
+		}
+	}
+}
+
+// TestIndexedChoiceMatchesScanFuzz walks random queues through random
+// admissions, counter mutations, and departures, comparing every
+// ChooseNext* decision between the scan and indexed paths. Both read
+// the same JobInfo objects, so any disagreement is an ordering bug, not
+// a state-divergence artifact.
+func TestIndexedChoiceMatchesScanFuzz(t *testing.T) {
+	for _, pc := range policyPairs() {
+		t.Run(pc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 30; trial++ {
+				indexed := pc.mk().(BatchPolicy)
+				q := randomTieQueue(rng, 1+rng.Intn(40))
+				for _, j := range q {
+					indexed.OnJobAdmit(j, 64, 64)
+				}
+				nextID := 1000 * (trial + 1)
+				for step := 0; step < 60; step++ {
+					switch op := rng.Intn(10); {
+					case op == 0: // admit a new job
+						j := mkJob(nextID, float64(rng.Intn(3)), float64(rng.Intn(3)*100), 1+rng.Intn(4), rng.Intn(3))
+						nextID++
+						q = append(q, j)
+						indexed.OnJobAdmit(j, 64, 64)
+					case op == 1 && len(q) > 0: // depart a random job
+						i := rng.Intn(len(q))
+						indexed.OnJobDepart(q[i])
+						q = append(q[:i], q[i+1:]...)
+					case len(q) > 0: // mutate a random job
+						j := q[rng.Intn(len(q))]
+						mutateJob(rng, j)
+						indexed.OnJobUpdate(j)
+					}
+					if got, want := indexed.ChooseNextMapTask(q), pc.scan.ChooseNextMapTask(q); got != want {
+						t.Fatalf("trial %d step %d: map pick indexed=%d scan=%d", trial, step, got, want)
+					}
+					if got, want := indexed.ChooseNextReduceTask(q), pc.scan.ChooseNextReduceTask(q); got != want {
+						t.Fatalf("trial %d step %d: reduce pick indexed=%d scan=%d", trial, step, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// cloneQueue deep-copies the JobInfos so a reference scan replay cannot
+// see mutations made by the batch path.
+func cloneQueue(q []*JobInfo) []*JobInfo {
+	c := make([]*JobInfo, len(q))
+	for i, j := range q {
+		cp := *j
+		c[i] = &cp
+	}
+	return c
+}
+
+// TestIndexedBatchMatchesScanFuzz checks the batch contract: one
+// AssignMapSlots(q, n) call must grant exactly the sequence n
+// successive scan ChooseNextMapTask calls would (each followed by the
+// engine's ScheduledMaps increment), and leave identical counters.
+func TestIndexedBatchMatchesScanFuzz(t *testing.T) {
+	for _, pc := range policyPairs() {
+		t.Run(pc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 40; trial++ {
+				indexed := pc.mk().(BatchPolicy)
+				q := randomTieQueue(rng, 1+rng.Intn(30))
+				for _, j := range q {
+					indexed.OnJobAdmit(j, 64, 64)
+				}
+				ref := cloneQueue(q)
+				n := 1 + rng.Intn(20)
+
+				var wantMaps []int
+				for len(wantMaps) < n {
+					idx := pc.scan.ChooseNextMapTask(ref)
+					if idx < 0 {
+						break
+					}
+					ref[idx].ScheduledMaps++
+					wantMaps = append(wantMaps, idx)
+				}
+				gotMaps := indexed.AssignMapSlots(q, n)
+				if len(gotMaps) != len(wantMaps) {
+					t.Fatalf("trial %d: AssignMapSlots granted %d, scan grants %d", trial, len(gotMaps), len(wantMaps))
+				}
+				for i := range wantMaps {
+					if gotMaps[i] != wantMaps[i] {
+						t.Fatalf("trial %d: map grant %d: indexed=%d scan=%d", trial, i, gotMaps[i], wantMaps[i])
+					}
+				}
+
+				var wantReds []int
+				for len(wantReds) < n {
+					idx := pc.scan.ChooseNextReduceTask(ref)
+					if idx < 0 {
+						break
+					}
+					ref[idx].ScheduledReduces++
+					wantReds = append(wantReds, idx)
+				}
+				gotReds := indexed.AssignReduceSlots(q, n)
+				if len(gotReds) != len(wantReds) {
+					t.Fatalf("trial %d: AssignReduceSlots granted %d, scan grants %d", trial, len(gotReds), len(wantReds))
+				}
+				for i := range wantReds {
+					if gotReds[i] != wantReds[i] {
+						t.Fatalf("trial %d: reduce grant %d: indexed=%d scan=%d", trial, i, gotReds[i], wantReds[i])
+					}
+				}
+
+				for i := range q {
+					if q[i].ScheduledMaps != ref[i].ScheduledMaps || q[i].ScheduledReduces != ref[i].ScheduledReduces {
+						t.Fatalf("trial %d: job %d counters diverge: batch (%d,%d) scan (%d,%d)",
+							trial, q[i].ID, q[i].ScheduledMaps, q[i].ScheduledReduces,
+							ref[i].ScheduledMaps, ref[i].ScheduledReduces)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedFallsBackWhenUnsynced covers the cluster-emulator shape:
+// a caller that never delivers lifecycle hooks (or passes a masked
+// sub-queue) must still get reference-scan answers.
+func TestIndexedFallsBackWhenUnsynced(t *testing.T) {
+	for _, pc := range policyPairs() {
+		t.Run(pc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			indexed := pc.mk().(BatchPolicy)
+			// No hooks delivered at all.
+			q := randomTieQueue(rng, 12)
+			if got, want := indexed.ChooseNextMapTask(q), pc.scan.ChooseNextMapTask(q); got != want {
+				t.Fatalf("unsynced map pick = %d, scan = %d", got, want)
+			}
+			if got, want := indexed.ChooseNextReduceTask(q), pc.scan.ChooseNextReduceTask(q); got != want {
+				t.Fatalf("unsynced reduce pick = %d, scan = %d", got, want)
+			}
+			// Hooks delivered, but the caller passes a masked sub-queue
+			// (the emulator's per-node view): must fall back, not panic.
+			for _, j := range q {
+				indexed.OnJobAdmit(j, 64, 64)
+			}
+			masked := q[:len(q)/2]
+			if got, want := indexed.ChooseNextMapTask(masked), pc.scan.ChooseNextMapTask(masked); got != want {
+				t.Fatalf("masked map pick = %d, scan = %d", got, want)
+			}
+			// Batch calls on an unsynced queue replicate the scan loop.
+			ref := cloneQueue(masked)
+			var want []int
+			for len(want) < 3 {
+				idx := pc.scan.ChooseNextMapTask(ref)
+				if idx < 0 {
+					break
+				}
+				ref[idx].ScheduledMaps++
+				want = append(want, idx)
+			}
+			got := indexed.(BatchPolicy).AssignMapSlots(masked, 3)
+			if len(got) != len(want) {
+				t.Fatalf("masked batch granted %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("masked batch grant %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedResetQueueReArms verifies the pooled-reuse contract: after
+// ResetQueue the index accepts a fresh queue and still matches the scan.
+func TestIndexedResetQueueReArms(t *testing.T) {
+	for _, pc := range policyPairs() {
+		t.Run(pc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			indexed := pc.mk().(BatchPolicy)
+			q := randomTieQueue(rng, 20)
+			for _, j := range q {
+				indexed.OnJobAdmit(j, 64, 64)
+			}
+			indexed.AssignMapSlots(q, 8)
+			indexed.ResetQueue()
+
+			q2 := randomTieQueue(rng, 15)
+			for _, j := range q2 {
+				indexed.OnJobAdmit(j, 64, 64)
+			}
+			if got, want := indexed.ChooseNextMapTask(q2), pc.scan.ChooseNextMapTask(q2); got != want {
+				t.Fatalf("post-reset map pick = %d, scan = %d", got, want)
+			}
+			if got, want := indexed.ChooseNextReduceTask(q2), pc.scan.ChooseNextReduceTask(q2); got != want {
+				t.Fatalf("post-reset reduce pick = %d, scan = %d", got, want)
+			}
+		})
+	}
+}

@@ -82,9 +82,10 @@ func (j *JobInfo) wantsReduceSlot() bool {
 	return j.WantedReduces == 0 || j.RunningReduces() < j.WantedReduces
 }
 
-// effectiveDeadline orders jobs for EDF; jobs without deadlines sort
-// last, amongst themselves by arrival.
-func (j *JobInfo) effectiveDeadline() float64 {
+// EffectiveDeadline orders jobs for EDF: the absolute deadline, or +Inf
+// for jobs without one (they sort last, amongst themselves by arrival).
+// Exported for the engine's preemption index, which maximizes it.
+func (j *JobInfo) EffectiveDeadline() float64 {
 	if j.Deadline <= 0 {
 		return math.Inf(1)
 	}
@@ -234,7 +235,7 @@ func byArrival(a, b *JobInfo) bool {
 
 // byDeadline orders by effective deadline, then arrival, then ID.
 func byDeadline(a, b *JobInfo) bool {
-	da, db := a.effectiveDeadline(), b.effectiveDeadline()
+	da, db := a.EffectiveDeadline(), b.EffectiveDeadline()
 	if da != db {
 		return da < db
 	}

@@ -203,6 +203,49 @@ func ProductionTrace(n int, rng *rand.Rand) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// MultiTenantTrace generates the multi-tenant scale workload behind the
+// sched_events_per_sec benchmark and the engine's scan-vs-indexed
+// differential suite: n small jobs (2–6 maps, 0–2 reduces) arriving in
+// one dense burst (mean inter-arrival 50 ms) with task durations long
+// relative to the burst, so nearly all n jobs are concurrently active
+// for most of the replay — the regime where slot allocation dominates
+// simulation cost. About 70% of jobs carry deadlines, giving the EDF
+// family and the preemption machinery real ordering work; the rest are
+// deadline-free and exercise the +Inf sort-last path.
+func MultiTenantTrace(n int, rng *rand.Rand) (*trace.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: n = %d", n)
+	}
+	mapDur := stats.Uniform{A: 30, B: 180}
+	shuffleDur := stats.Uniform{A: 5, B: 20}
+	reduceDur := stats.Uniform{A: 10, B: 40}
+	tr := &trace.Trace{Name: fmt.Sprintf("multitenant-%d", n)}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		nm := 2 + rng.Intn(5)
+		nr := rng.Intn(3)
+		tpl := &trace.Template{
+			AppName:      "tenant",
+			NumMaps:      nm,
+			NumReduces:   nr,
+			MapDurations: stats.SampleN(mapDur, nm, rng),
+		}
+		if nr > 0 {
+			tpl.TypicalShuffle = stats.SampleN(shuffleDur, nr, rng)
+			tpl.FirstShuffle = stats.SampleN(shuffleDur, nr, rng)
+			tpl.ReduceDurations = stats.SampleN(reduceDur, nr, rng)
+		}
+		job := &trace.Job{Arrival: t, Template: tpl}
+		if rng.Float64() < 0.7 {
+			job.Deadline = t + 120 + rng.Float64()*1800
+		}
+		tr.Jobs = append(tr.Jobs, job)
+		t += rng.ExpFloat64() * 0.05
+	}
+	tr.Normalize()
+	return tr, nil
+}
+
 // shuffleEstimate approximates a spec's typical shuffle duration from
 // its per-reduce partition volume at nominal transfer rates (20 MB/s
 // fetch + merge).

@@ -205,6 +205,19 @@ func MinEDFWithEstimator(which string) Policy {
 // given queue shares (extension beyond the paper).
 func NewCapacity(shares []float64) Policy { return sched.Capacity{Shares: shares} }
 
+// Indexed returns the sub-linear indexed equivalent of a built-in
+// policy (FIFO, MaxEDF, MinEDF, Fair, Capacity): the engine detects the
+// fast path and hands out all free slots per allocation round through
+// incrementally maintained ordered indexes instead of one O(active-jobs)
+// scan per slot. Simulated outcomes are byte-identical to the reference
+// policy (the engine's differential suite enforces this); only the
+// lookup cost changes — worth it from a few hundred concurrently active
+// jobs up. Policies without an indexed form are returned unchanged.
+//
+// The returned policy is stateful: use one instance per engine, and
+// with SweepConfig use PolicyFactory, never a shared Policy.
+func Indexed(p Policy) Policy { return sched.Indexed(p) }
+
 // DefaultReplayConfig returns the paper's validation setup: 64 map and
 // 64 reduce slots, Hadoop-style 5% reduce slowstart.
 func DefaultReplayConfig() ReplayConfig { return engine.DefaultConfig() }
@@ -310,6 +323,14 @@ func GenerateTrace(shape *JobShape, n int, meanInterArrival float64, rng *rand.R
 // cluster history (used by the Figure 6 speed comparison with n = 1148).
 func ProductionTrace(n int, rng *rand.Rand) (*Trace, error) {
 	return synth.ProductionTrace(n, rng)
+}
+
+// MultiTenantTrace generates an n-job burst of small concurrent jobs —
+// the multi-tenant regime where nearly all jobs are simultaneously
+// active and slot-allocation cost dominates; pair it with Indexed
+// policies at scale.
+func MultiTenantTrace(n int, rng *rand.Rand) (*Trace, error) {
+	return synth.MultiTenantTrace(n, rng)
 }
 
 // ScaleTemplate derives a larger-dataset template from a profiled one —

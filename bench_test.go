@@ -48,6 +48,24 @@ func BenchmarkPreemptScan(b *testing.B) { benchkit.Preempt(b, false) }
 // allocation as well — the fully indexed configuration.
 func BenchmarkPreemptIndexed(b *testing.B) { benchkit.Preempt(b, true) }
 
+// BenchmarkFork measures one copy-on-write ForkInto off a sealed
+// snapshot at a 90% branch point — pure branch-creation cost (cloned
+// event queue plus constant bookkeeping; job chunks stay shared until
+// the branch writes). Lands in BENCH_engine.json as fork_ns_per_op.
+func BenchmarkFork(b *testing.B) { benchkit.Fork(b) }
+
+// BenchmarkBranchSet runs the K=8 what-if fan-out: one shared prefix
+// to 90% of the trace, eight forked branches run to completion. The
+// events/sec metric counts only branch-suffix events
+// (branch_events_per_sec in BENCH_engine.json).
+func BenchmarkBranchSet(b *testing.B) { benchkit.BranchSet(b) }
+
+// BenchmarkBranchIndependent answers the same eight what-ifs the
+// pre-fork way — eight full pooled replays. Its wall time over
+// BenchmarkBranchSet's is branch_speedup; `make bench-guard` holds
+// that ratio above benchkit.BranchSpeedupFloor.
+func BenchmarkBranchIndependent(b *testing.B) { benchkit.BranchIndependent(b) }
+
 // BenchmarkCapacitySweepSerial is the single-worker reference for the
 // 16-cell capacity sweep.
 func BenchmarkCapacitySweepSerial(b *testing.B) { benchkit.Sweep(b, 1) }

@@ -50,6 +50,8 @@ func main() {
 			BytesPerOp:           rep.BytesPerOp,
 			SchedEventsPerSec:    rep.SchedEventsPerSec,
 			SchedAllocsPerOp:     rep.SchedAllocsPerOp,
+			BranchEventsPerSec:   rep.BranchEventsPerSec,
+			BranchSpeedup:        rep.BranchSpeedup,
 			BaselineEventsPerSec: rep.Baseline.EventsPerSec,
 			BaselineAllocsPerOp:  rep.Baseline.ReplayAllocsPerOp,
 			Floor:                *floor,
@@ -78,20 +80,24 @@ func main() {
 	}
 	appendHistory(*history, benchkit.HistoryRecord{
 		Time: now, Mode: "bench", Pass: true,
-		EventsPerSec:      m.EventsPerSec,
-		AllocsPerOp:       m.ReplayAllocsPerOp,
-		BytesPerOp:        m.ReplayBytesPerOp,
-		SchedEventsPerSec: m.SchedEventsPerSec,
-		SchedAllocsPerOp:  m.SchedAllocsPerOp,
+		EventsPerSec:       m.EventsPerSec,
+		AllocsPerOp:        m.ReplayAllocsPerOp,
+		BytesPerOp:         m.ReplayBytesPerOp,
+		SchedEventsPerSec:  m.SchedEventsPerSec,
+		SchedAllocsPerOp:   m.SchedAllocsPerOp,
+		ForkNsPerOp:        m.ForkNsPerOp,
+		BranchEventsPerSec: m.BranchEventsPerSec,
+		BranchSpeedup:      m.BranchSpeedup,
 	})
 	sweep := fmt.Sprintf("sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)",
 		m.SweepSerialSeconds, m.SweepParallelSeconds, m.NumCPU, m.SweepSpeedup)
 	if m.SweepSpeedupSkipped {
 		sweep = fmt.Sprintf("sweep %.3fs serial, speedup skipped (single CPU)", m.SweepSerialSeconds)
 	}
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), %s\n",
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), %s\n",
 		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
-		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup, sweep)
+		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup,
+		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, sweep)
 }
 
 // appendHistory logs one run; a failure to log is a warning, never a

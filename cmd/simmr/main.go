@@ -15,6 +15,15 @@
 //	simmr trace run -trace trace.json -out trace_events.json
 //	      [-slot-timeline slots.tsv] [-policy ...] [-map-slots ...]
 //
+// The `trace whatif` subcommand replays the workload once up to a
+// branch point, forks the paused engine copy-on-write into one branch
+// per what-if scenario (always a control, plus -policies swaps and
+// -deadline-scale rescales), and prints a comparison table:
+//
+//	simmr trace whatif -trace trace.json -at 0.5
+//	      [-policies minedf,maxedf] [-deadline-scale 0.5,2]
+//	      [-policy fifo] [-map-slots ...] [-workers N]
+//
 // -debug-addr serves live run telemetry — Prometheus /metrics from the
 // sharded registry, expvar /debug/vars — and the net/http/pprof
 // profiling endpoints while a replay runs.

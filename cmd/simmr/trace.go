@@ -8,14 +8,26 @@ import (
 	"simmr/pkg/simmr"
 )
 
-// runTraceCmd implements the `simmr trace run` subcommand: replay a
-// workload with the observability sinks attached and export the result
-// as a Chrome trace-event file (open in chrome://tracing or Perfetto)
-// and, optionally, a slot-occupancy TSV.
+// runTraceCmd dispatches the `simmr trace` subcommands: `run` (replay
+// with observability sinks, export a Chrome trace) and `whatif`
+// (branch one shared replay prefix into K mutated what-if scenarios).
 func runTraceCmd(args []string) error {
-	if len(args) == 0 || args[0] != "run" {
-		return fmt.Errorf("usage: simmr trace run -trace FILE [-out trace.json] [flags]")
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runTraceRun(args[1:])
+		case "whatif":
+			return runTraceWhatif(args[1:])
+		}
 	}
+	return fmt.Errorf("usage: simmr trace run|whatif -trace FILE [flags]")
+}
+
+// runTraceRun implements `simmr trace run`: replay a workload with the
+// observability sinks attached and export the result as a Chrome
+// trace-event file (open in chrome://tracing or Perfetto) and,
+// optionally, a slot-occupancy TSV.
+func runTraceRun(args []string) error {
 	fs := flag.NewFlagSet("trace run", flag.ContinueOnError)
 	var (
 		tracePath   = fs.String("trace", "", "path to a trace JSON file")
@@ -30,7 +42,7 @@ func runTraceCmd(args []string) error {
 		slotTSV     = fs.String("slot-timeline", "", "also write a slot-occupancy TSV (renders via internal/report)")
 		debugAddr   = fs.String("debug-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address")
 	)
-	if err := fs.Parse(args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var tel *simmr.Telemetry

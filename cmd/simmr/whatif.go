@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+
+	"simmr/pkg/simmr"
+)
+
+// runTraceWhatif implements `simmr trace whatif`: replay the workload
+// once up to a branch point, then fan out K copy-on-write forks — a
+// control branch plus one branch per requested policy swap and per
+// deadline rescale — and print a comparison table. All branches share
+// the simulated prefix, so answering K questions costs roughly one
+// replay plus K suffixes instead of K full replays.
+func runTraceWhatif(args []string) error {
+	fs := flag.NewFlagSet("trace whatif", flag.ContinueOnError)
+	var (
+		tracePath   = fs.String("trace", "", "path to a trace JSON file")
+		dbDir       = fs.String("db", "", "trace database directory (with -name)")
+		dbName      = fs.String("name", "", "trace name inside -db")
+		policyName  = fs.String("policy", "fifo", "baseline scheduling policy: fifo, maxedf, minedf, fair, capacity")
+		shares      = fs.String("capacity-shares", "0.5,0.5", "comma-separated queue shares for -policy capacity")
+		mapSlots    = fs.Int("map-slots", 64, "cluster map slots")
+		reduceSlots = fs.Int("reduce-slots", 64, "cluster reduce slots")
+		slowstart   = fs.Float64("slowstart", 0.05, "fraction of maps completed before reduces launch")
+		at          = fs.Float64("at", 0.5, "branch point as a fraction of the replay's total events (0..1)")
+		policies    = fs.String("policies", "", "comma-separated policies to swap to at the branch point, one branch each")
+		ddlScales   = fs.String("deadline-scale", "", "comma-separated factors: rescale un-arrived jobs' deadlines, one branch each")
+		workers     = fs.Int("workers", 0, "concurrent branches (0 = one per CPU)")
+		debugAddr   = fs.String("debug-addr", "", "serve Prometheus /metrics (incl. fork counters), expvar, and pprof on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *at < 0 || *at > 1 {
+		return fmt.Errorf("-at %g: branch point must be in [0, 1]", *at)
+	}
+	var tel *simmr.Telemetry
+	if *debugAddr != "" {
+		var err error
+		tel, err = startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+	}
+	stopLoad := tel.Span("load")
+	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
+	stopLoad()
+	if err != nil {
+		return err
+	}
+	mkPolicy := func() (simmr.Policy, error) { return policyByName(*policyName, *shares) }
+	if _, err := mkPolicy(); err != nil {
+		return err
+	}
+
+	branches := []simmr.WhatIf{{Name: "control"}}
+	if *policies != "" {
+		for _, name := range strings.Split(*policies, ",") {
+			name = strings.TrimSpace(name)
+			p, err := policyByName(name, *shares)
+			if err != nil {
+				return err
+			}
+			branches = append(branches, simmr.WhatIf{Name: "policy=" + name, Policy: p})
+		}
+	}
+	if *ddlScales != "" {
+		for _, part := range strings.Split(*ddlScales, ",") {
+			var scale float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &scale); err != nil || scale <= 0 {
+				return fmt.Errorf("bad deadline scale %q", part)
+			}
+			branches = append(branches, simmr.WhatIf{
+				Name: fmt.Sprintf("deadlines x%g", scale),
+				Mutate: func(e *simmr.Engine) error {
+					// Only jobs still in the future can be re-negotiated;
+					// scale their deadline slack around the arrival time.
+					now := e.Now()
+					for _, j := range tr.Jobs {
+						if j.Arrival <= now || j.Deadline <= 0 {
+							continue
+						}
+						d := j.Arrival + (j.Deadline-j.Arrival)*scale
+						if err := e.SetDeadline(j.ID, d); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			})
+		}
+	}
+
+	cfg := simmr.ReplayConfig{
+		MapSlots:               *mapSlots,
+		ReduceSlots:            *reduceSlots,
+		MinMapPercentCompleted: *slowstart,
+	}
+	// One plain replay prices the trace in events, so -at can be a
+	// fraction instead of an opaque event count.
+	stopRef := tel.Span("build")
+	refPolicy, _ := mkPolicy()
+	ref, err := simmr.Replay(cfg, tr, refPolicy)
+	if err != nil {
+		return err
+	}
+	stopRef()
+	branchEvents := uint64(*at * float64(ref.Events))
+
+	stopRun := tel.Span("run")
+	results, err := simmr.BranchSet(context.Background(), simmr.BranchSetConfig{
+		Config:        cfg,
+		Trace:         tr,
+		PolicyFactory: func() simmr.Policy { p, _ := mkPolicy(); return p },
+		BranchEvents:  branchEvents,
+		Workers:       *workers,
+		Telemetry:     tel,
+	}, branches)
+	stopRun()
+	if err != nil {
+		return err
+	}
+	defer tel.Span("report")()
+
+	fmt.Printf("%d jobs, branch point %d/%d events (%.0f%%), %d branches, baseline policy %s\n",
+		len(tr.Jobs), branchEvents, ref.Events, *at*100, len(branches), refPolicy.Name())
+	fmt.Println("branch\tmakespan_s\tmean_completion_s\tmissed_deadlines\td_makespan_s")
+	control := results[0]
+	for i, res := range results {
+		var sum float64
+		missed := 0
+		for _, j := range res.Jobs {
+			sum += j.CompletionTime()
+			if j.ExceededDeadline() {
+				missed++
+			}
+		}
+		fmt.Printf("%s\t%.1f\t%.1f\t%d\t%+.1f\n",
+			branches[i].Name, res.Makespan, sum/float64(len(res.Jobs)),
+			missed, res.Makespan-control.Makespan)
+	}
+	return nil
+}

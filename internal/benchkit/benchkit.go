@@ -166,13 +166,15 @@ type Metrics struct {
 	ReplayAllocsPerOp    int64   `json:"replay_allocs_per_op"`
 	ReplayBytesPerOp     int64   `json:"replay_bytes_per_op"`
 	SweepSerialSeconds   float64 `json:"sweep_serial_seconds"`
-	SweepParallelSeconds float64 `json:"sweep_parallel_seconds"`
+	SweepParallelSeconds float64 `json:"sweep_parallel_seconds,omitempty"`
 	// SweepSpeedup is serial / parallel wall time for the same grid; it
 	// approaches NumCPU on unloaded multicore hosts. On a single-CPU
 	// host the ratio is pure scheduling noise, so Collect skips the
 	// parallel run entirely and sets SweepSpeedupSkipped instead of
-	// recording a meaningless sub-1.0 value.
-	SweepSpeedup        float64 `json:"sweep_speedup"`
+	// recording a meaningless sub-1.0 value. Both parallel fields are
+	// omitted (not zero) from the JSON on such baselines, so consumers
+	// can tell "never measured" from "measured as zero".
+	SweepSpeedup        float64 `json:"sweep_speedup,omitempty"`
 	SweepSpeedupSkipped bool    `json:"sweep_speedup_skipped,omitempty"`
 
 	// The multi-tenant scheduling pair: replay throughput at 1000
@@ -188,11 +190,23 @@ type Metrics struct {
 	SchedAllocsPerOp      int64   `json:"sched_allocs_per_op"`
 	PreemptEventsPerSec   float64 `json:"preempt_events_per_sec"`
 
+	// The what-if branching trio: ForkNsPerOp is the pure cost of one
+	// copy-on-write ForkInto off a sealed 90% snapshot (queue clone plus
+	// constant bookkeeping, all job chunks still shared);
+	// BranchEventsPerSec is the K=8 fan-out's branch-suffix throughput;
+	// BranchSpeedup is eight independent full replays' wall time over
+	// one BranchSet answering the same eight questions — the shared
+	// prefix should make this >= 2x even on one CPU (the guard's floor).
+	ForkNsPerOp        float64 `json:"fork_ns_per_op"`
+	BranchEventsPerSec float64 `json:"branch_events_per_sec"`
+	BranchSpeedup      float64 `json:"branch_speedup"`
+
 	GeneratedAt string `json:"generated_at,omitempty"`
 }
 
-// Collect runs the three engine benchmarks through testing.Benchmark
-// and condenses their results. The sweep pair is pinned explicitly —
+// Collect runs the engine benchmarks (replay, multi-tenant scheduling,
+// what-if branching, capacity sweeps) through testing.Benchmark and
+// condenses their results. The sweep pair is pinned explicitly —
 // GOMAXPROCS=1 for the serial reference, GOMAXPROCS=NumCPU for the
 // parallel run — so the recorded speedup measures the worker pool, not
 // whatever GOMAXPROCS the harness happened to inherit.
@@ -214,6 +228,20 @@ func Collect() Metrics {
 	}
 	pre := testing.Benchmark(func(b *testing.B) { Preempt(b, true) })
 	m.PreemptEventsPerSec = pre.Extra["events/sec"]
+
+	// The what-if branching trio runs on every host, single-CPU
+	// included: BranchSpeedup comes from the shared prefix, not from
+	// parallelism, so it is meaningful (and guarded) even at one worker.
+	fork := testing.Benchmark(Fork)
+	m.ForkNsPerOp = float64(fork.T.Nanoseconds()) / float64(fork.N)
+	bs := testing.Benchmark(BranchSet)
+	m.BranchEventsPerSec = bs.Extra["events/sec"]
+	ind := testing.Benchmark(BranchIndependent)
+	bsSec := bs.T.Seconds() / float64(bs.N)
+	indSec := ind.T.Seconds() / float64(ind.N)
+	if bsSec > 0 {
+		m.BranchSpeedup = indSec / bsSec
+	}
 
 	serial := testing.Benchmark(func(b *testing.B) {
 		prev := runtime.GOMAXPROCS(1)

@@ -1,0 +1,105 @@
+package benchkit
+
+import (
+	"context"
+	"testing"
+
+	"simmr/pkg/simmr"
+)
+
+// branchK is the fan-out width of the what-if benchmarks: eight
+// branches off one shared prefix, the shape ISSUE 6's acceptance bar
+// uses (K=8 at a 90% branch point, >= 2x over independent replays).
+const branchK = 8
+
+// branchPoint converts a replay's total event count to the deep branch
+// point the benchmarks fork at: 90% through the trace, where the
+// shared-prefix saving dominates.
+func branchPoint(total uint64) uint64 { return total * 9 / 10 }
+
+// branchRef replays the benchmark trace once to learn its total event
+// count — the denominator for the 90% branch point.
+func branchRef(b *testing.B, tr *simmr.Trace) uint64 {
+	b.Helper()
+	res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Events
+}
+
+// Fork measures the copy-on-write fork itself: one sealed snapshot at
+// the 90% branch point, ForkInto the same recycled destination engine
+// every iteration. Nothing runs after the fork, so ns/op is the pure
+// branch-creation cost — the cloned event queue plus constant-size
+// bookkeeping, with every job chunk still shared.
+func Fork(b *testing.B) {
+	tr := fixture(replayJobs)
+	total := branchRef(b, tr)
+	e, err := simmr.NewEngine(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.RunEvents(branchPoint(total)); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst simmr.Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := snap.ForkInto(&dst, simmr.ForkOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BranchSet measures the full what-if fan-out: one shared prefix to the
+// 90% branch point, then branchK control branches forked and run to
+// completion through the pooled worker path. The reported events/sec
+// counts only the suffix events the branches themselves simulate —
+// the work BranchSet actually fans out — over the whole call's wall
+// time, prefix included.
+func BranchSet(b *testing.B) {
+	tr := fixture(replayJobs)
+	total := branchRef(b, tr)
+	at := branchPoint(total)
+	branches := make([]simmr.WhatIf, branchK)
+	cfg := simmr.BranchSetConfig{Trace: tr, BranchEvents: at}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var suffix uint64
+	for i := 0; i < b.N; i++ {
+		res, err := simmr.BranchSet(ctx, cfg, branches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			suffix += r.Events - at
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(suffix)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BranchIndependent is the reference BranchSet competes against: the
+// same branchK what-if answers produced the pre-fork way, as branchK
+// full from-scratch replays through the engine pool. BranchSpeedup in
+// BENCH_engine.json is this benchmark's wall time over BranchSet's.
+func BranchIndependent(b *testing.B) {
+	tr := fixture(replayJobs)
+	var pool simmr.ReplayPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < branchK; k++ {
+			if _, err := pool.Run(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

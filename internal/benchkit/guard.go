@@ -77,9 +77,23 @@ type GuardReport struct {
 	SchedAllocsPerOp  int64
 	SchedEventsPerSec float64
 
+	// The what-if branching smoke: K=8 fan-out throughput and its
+	// speedup over independent replays, guarded when the baseline
+	// records branch_speedup.
+	BranchEventsPerSec float64
+	BranchSpeedup      float64
+
 	Baseline Metrics
 	Summary  string
 }
+
+// BranchSpeedupFloor is the hard lower bound on BranchSet's advantage
+// over independent replays (K=8, 90% branch point): the shared prefix
+// alone must keep the fan-out at least twice as fast, on any host. The
+// bound is structural — roughly K/(p + K(1-p)) serial work for branch
+// point p — so unlike raw throughput it barely moves with machine
+// speed, and 2.0 stays far below the ~4.7x the 90% point predicts.
+const BranchSpeedupFloor = 2.0
 
 // Guard reruns the no-sink replay benchmark and fails if it regressed
 // against the baseline: allocations per replay beyond AllocTolerance
@@ -126,8 +140,31 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 			rep.SchedAllocsPerOp, base.SchedAllocsPerOp, schedLimit,
 			rep.SchedEventsPerSec, base.SchedEventsPerSec)
 	}
-	if base.SweepSpeedupSkipped || base.NumCPU == 1 {
+	// A baseline may legitimately lack the parallel sweep numbers: on
+	// single-CPU hosts Collect skips that run and the fields are omitted
+	// from the JSON entirely. Absent (zero after unmarshal) means "never
+	// measured", not "measured as zero" — either way there is no sweep
+	// ratio to hold this run to.
+	if base.SweepSpeedupSkipped || base.NumCPU == 1 || base.SweepSpeedup == 0 {
 		rep.Summary += "; sweep speedup floor skipped (single-CPU baseline)"
+	}
+
+	// What-if branching smoke: when the baseline records a branch
+	// speedup, rerun the K=8 fan-out against its independent-replay
+	// reference and hold the ratio to the structural floor. This is a
+	// fixed bound, not a fraction of the baseline — the shared-prefix
+	// advantage is machine-independent, so a drop below 2x means the
+	// fork path itself broke (e.g. forks silently re-running the
+	// prefix), never that the host got slower.
+	if base.BranchSpeedup > 0 {
+		bs := testing.Benchmark(BranchSet)
+		ind := testing.Benchmark(BranchIndependent)
+		rep.BranchEventsPerSec = bs.Extra["events/sec"]
+		if bsSec := bs.T.Seconds() / float64(bs.N); bsSec > 0 {
+			rep.BranchSpeedup = (ind.T.Seconds() / float64(ind.N)) / bsSec
+		}
+		rep.Summary += fmt.Sprintf("; branch speedup %.2fx (baseline %.2fx, floor %.1fx), %.0f branch events/sec",
+			rep.BranchSpeedup, base.BranchSpeedup, BranchSpeedupFloor, rep.BranchEventsPerSec)
 	}
 
 	if rep.AllocsPerOp > allocLimit {
@@ -145,6 +182,10 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	if schedLimit > 0 && floor > 0 && base.SchedEventsPerSec > 0 && rep.SchedEventsPerSec < base.SchedEventsPerSec*floor {
 		return rep, fmt.Errorf("benchkit: indexed multi-tenant throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
 			rep.SchedEventsPerSec, base.SchedEventsPerSec, floor)
+	}
+	if base.BranchSpeedup > 0 && rep.BranchSpeedup < BranchSpeedupFloor {
+		return rep, fmt.Errorf("benchkit: what-if branching lost its shared-prefix advantage: %.2fx over independent replays vs floor %.1fx (baseline %.2fx)",
+			rep.BranchSpeedup, BranchSpeedupFloor, base.BranchSpeedup)
 	}
 	return rep, nil
 }

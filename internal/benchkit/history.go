@@ -24,6 +24,12 @@ type HistoryRecord struct {
 	SchedEventsPerSec float64 `json:"sched_events_per_sec,omitempty"`
 	SchedAllocsPerOp  int64   `json:"sched_allocs_per_op,omitempty"`
 
+	// What-if branching (K=8 copy-on-write fan-out off one shared
+	// prefix); zero on runs predating the fork benchmarks.
+	ForkNsPerOp        float64 `json:"fork_ns_per_op,omitempty"`
+	BranchEventsPerSec float64 `json:"branch_events_per_sec,omitempty"`
+	BranchSpeedup      float64 `json:"branch_speedup,omitempty"`
+
 	// Guard runs record what they compared against.
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	BaselineAllocsPerOp  int64   `json:"baseline_allocs_per_op,omitempty"`

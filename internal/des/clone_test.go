@@ -1,0 +1,153 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// populate pushes a deterministic pseudo-random schedule, pops (and
+// frees) some prefix of it, and returns the queue mid-flight — pending
+// events, nonzero fired counter, warmed free list.
+func populate(t *testing.T, rng *rand.Rand, pushes, pops int) *EventQueue {
+	t.Helper()
+	q := &EventQueue{}
+	for i := 0; i < pushes; i++ {
+		if i%3 == 0 {
+			q.PushTask(rng.Float64()*1000, i%7, i, i%5)
+		} else {
+			q.Push(rng.Float64()*1000, i%7, i, nil)
+		}
+	}
+	for i := 0; i < pops; i++ {
+		q.Free(q.Pop())
+	}
+	return q
+}
+
+// drain pops the queue to empty, returning each event's value.
+func drain(q *EventQueue) []Event {
+	var out []Event
+	for q.Len() > 0 {
+		e := q.Pop()
+		out = append(out, *e)
+		q.Free(e)
+	}
+	return out
+}
+
+// TestCloneIntoPopOrder pins the core clone property: the clone pops
+// the exact same (value) sequence as the source, and counters carry
+// over so a simulator resuming on the clone is indistinguishable from
+// one that kept running on the source.
+func TestCloneIntoPopOrder(t *testing.T) {
+	src := populate(t, rand.New(rand.NewSource(7)), 500, 180)
+	var dst EventQueue
+	src.CloneInto(&dst)
+
+	if got, want := dst.Len(), src.Len(); got != want {
+		t.Fatalf("clone Len = %d, want %d", got, want)
+	}
+	if got, want := dst.Fired(), src.Fired(); got != want {
+		t.Fatalf("clone Fired = %d, want %d", got, want)
+	}
+	if got, want := dst.HighWater(), src.HighWater(); got != want {
+		t.Fatalf("clone HighWater = %d, want %d", got, want)
+	}
+
+	srcSeq := drain(src)
+	dstSeq := drain(&dst)
+	if len(srcSeq) != len(dstSeq) {
+		t.Fatalf("drained %d events from clone, want %d", len(dstSeq), len(srcSeq))
+	}
+	for i := range srcSeq {
+		a, b := srcSeq[i], dstSeq[i]
+		// index differs by pop bookkeeping only; compare the logical fields.
+		if a.Time != b.Time || a.Type != b.Type || a.JobID != b.JobID ||
+			a.Task != b.Task || a.seq != b.seq {
+			t.Fatalf("pop %d diverged: src %+v clone %+v", i, a, b)
+		}
+	}
+}
+
+// TestCloneIntoPositions pins the position-preservation contract that
+// the engine's fork relies on: PendingAt(i) of source and clone carry
+// the same event value at every heap slot, so an *Event handle into
+// the source remaps to the clone via its heap index alone.
+func TestCloneIntoPositions(t *testing.T) {
+	src := populate(t, rand.New(rand.NewSource(11)), 300, 40)
+	var dst EventQueue
+	src.CloneInto(&dst)
+	for i := 0; i < src.Len(); i++ {
+		a, b := src.PendingAt(i), dst.PendingAt(i)
+		if a == b {
+			t.Fatalf("position %d: clone aliases the source event", i)
+		}
+		if a.Time != b.Time || a.seq != b.seq || a.Type != b.Type ||
+			a.JobID != b.JobID || a.Task != b.Task || b.index != i {
+			t.Fatalf("position %d: src %+v clone %+v (index %d)", i, a, b, b.index)
+		}
+	}
+}
+
+// TestCloneIntoSourceUnchanged verifies cloning is non-destructive and
+// repeatable: popping the clone leaves the source intact, and a second
+// clone still matches.
+func TestCloneIntoSourceUnchanged(t *testing.T) {
+	src := populate(t, rand.New(rand.NewSource(3)), 200, 50)
+	wantLen, wantFired := src.Len(), src.Fired()
+
+	var c1 EventQueue
+	src.CloneInto(&c1)
+	drain(&c1)
+
+	if src.Len() != wantLen || src.Fired() != wantFired {
+		t.Fatalf("source mutated by clone drain: len %d fired %d, want %d/%d",
+			src.Len(), src.Fired(), wantLen, wantFired)
+	}
+	var c2 EventQueue
+	src.CloneInto(&c2)
+	srcSeq := drain(src)
+	c2Seq := drain(&c2)
+	for i := range srcSeq {
+		if srcSeq[i].Time != c2Seq[i].Time || srcSeq[i].seq != c2Seq[i].seq {
+			t.Fatalf("second clone diverged at pop %d", i)
+		}
+	}
+}
+
+// TestCloneIntoRecyclesDst pins the pooled-destination contract: a dirty
+// destination queue (pending events, popped history, warmed slab) is
+// fully recycled — its old events invalidated, its storage reused — and
+// a steady-state re-clone into the same destination allocates nothing
+// beyond the first clone's warmup.
+func TestCloneIntoRecyclesDst(t *testing.T) {
+	src := populate(t, rand.New(rand.NewSource(5)), 400, 100)
+	dst := populate(t, rand.New(rand.NewSource(6)), 350, 300)
+
+	src.CloneInto(dst)
+	got := drain(dst)
+	src2 := populate(t, rand.New(rand.NewSource(5)), 400, 100)
+	want := drain(src2)
+	if len(got) != len(want) {
+		t.Fatalf("recycled clone drained %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Time != want[i].Time || got[i].seq != want[i].seq {
+			t.Fatalf("recycled clone diverged at pop %d", i)
+		}
+	}
+
+	// Steady state: clone → drain → clone into the same dst must not
+	// allocate (slab and free list sized by the first pass).
+	src.CloneInto(dst)
+	drain(dst)
+	allocs := testing.AllocsPerRun(20, func() {
+		src.CloneInto(dst)
+		for dst.Len() > 0 {
+			dst.Free(dst.Pop())
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state CloneInto allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -44,6 +44,17 @@ const freedIndex = -2
 // Scheduled reports whether the event is still pending in a queue.
 func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
 
+// HeapPos returns the event's current heap position, or -1 if the
+// event is not scheduled. Positions pair with PendingAt under the
+// CloneInto contract: a handle h into a cloned queue remaps to
+// clone.PendingAt(h.HeapPos()).
+func (e *Event) HeapPos() int {
+	if e.index < 0 {
+		return -1
+	}
+	return e.index
+}
+
 // String renders the event for logs and test failures.
 func (e *Event) String() string {
 	return fmt.Sprintf("event{t=%.3f type=%d job=%d}", e.Time, e.Type, e.JobID)
@@ -137,6 +148,48 @@ func (q *EventQueue) Reset() {
 	q.fired = 0
 	q.hiWater = 0
 }
+
+// CloneInto reproduces the queue's complete pending state into dst,
+// recycling dst's existing storage (heap slice, slab, free list) the
+// way Reset does — the copy-on-write fork path hands a pooled engine's
+// queue here so steady-state forking allocates nothing once warmed.
+//
+// The clone preserves everything that determines future behavior:
+// every pending event's (Time, seq) key, payload, and — deliberately —
+// its heap position, plus the nextSeq, fired, and high-water counters.
+// Position preservation is a contract, not an accident: PendingAt(i)
+// on the clone is the clone's copy of PendingAt(i) on the source, so a
+// simulator holding *Event handles into the source (running-task
+// departures, filler reduces) can remap each handle h to
+// dst.PendingAt(h index) in O(1) without any translation table.
+// Payloads are copied shallowly; the SimMR engine only schedules nil
+// payloads, and callers with pointer payloads must remap them.
+//
+// The source is not modified and may be cloned again; dst's previously
+// outstanding events are invalidated exactly as by Reset.
+func (q *EventQueue) CloneInto(dst *EventQueue) {
+	dst.Reset()
+	n := len(q.h)
+	if cap(dst.h) < n {
+		dst.h = make([]*Event, n)
+	} else {
+		dst.h = dst.h[:n]
+	}
+	for i, e := range q.h {
+		c := dst.alloc()
+		*c = *e // index == i already: e sits at position i in the source heap
+		dst.h[i] = c
+	}
+	dst.nextSeq = q.nextSeq
+	dst.fired = q.fired
+	dst.hiWater = q.hiWater
+}
+
+// PendingAt returns the pending event at heap position i (0 <= i <
+// Len()). Positions are heap-internal and change as events push and
+// pop; the accessor exists for the CloneInto remapping contract above,
+// where source and clone positions coincide by construction.
+func (q *EventQueue) PendingAt(i int) *Event { return q.h[i] }
 
 // Len returns the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }

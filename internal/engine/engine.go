@@ -192,8 +192,25 @@ type simJob struct {
 
 	fillers       []fillerReduce
 	mapStageEvent bool // map-stage-complete event already scheduled
+	arrived       bool // job-arrival event handled
 	departed      bool
 }
+
+// runState tracks where an engine is in its arm → run → seal lifecycle.
+type runState uint8
+
+const (
+	// runIdle: armed by New/Reset; Run has not started.
+	runIdle runState = iota
+	// runStarted: arrivals pushed, replay in flight — possibly paused
+	// between macro-steps by RunEvents. Forked engines start here.
+	runStarted
+	// runDone: Run assembled its Result; only Reset re-arms.
+	runDone
+	// runSealed: Snapshot froze this engine as fork source; immutable
+	// (concurrent forks read it) until Reset un-seals.
+	runSealed
+)
 
 // Engine replays one trace. Build with New, call Run once; Reset
 // re-arms a used engine for another run while retaining its warmed
@@ -219,7 +236,21 @@ type Engine struct {
 	freeMap    int
 	freeReduce int
 	remaining  int
-	ran        bool // Run consumed this arming; Reset re-arms
+	state      runState
+
+	// Copy-on-write fork state, nil/empty on ordinary engines. src is
+	// the sealed snapshot this engine was forked from; jobs-slab chunks
+	// copy from it lazily on first write, tracked by the dirty bitset
+	// (see fork.go). extra holds jobs injected after the branch point —
+	// individually boxed so slab pointers never move — and sharedIndex
+	// marks indexOf as borrowed read-only from the snapshot. snap caches
+	// this engine's own Snapshot once sealed.
+	src         *Snapshot
+	dirty       []uint64
+	extra       []*simJob
+	sharedIndex bool
+	snap        *Snapshot
+	stats       ForkStats
 
 	// Policy capability dispatch, resolved once per Reset so the hot
 	// path never repeats a type assertion. batch non-nil selects the
@@ -302,7 +333,23 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 	e.freeMap = cfg.MapSlots
 	e.freeReduce = cfg.ReduceSlots
 	e.remaining = n
-	e.ran = false
+	e.state = runIdle
+	// Reset un-seals and un-forks: the snapshot link, dirty bitset, and
+	// injected-job slab all belong to the previous arming. Outstanding
+	// forks of a sealed engine must finish before it is Reset (they read
+	// its slabs concurrently); the snapshot-holding side enforces that.
+	e.src = nil
+	e.snap = nil
+	e.stats = ForkStats{}
+	for i := range e.extra {
+		e.extra[i] = nil
+	}
+	e.extra = e.extra[:0]
+	if e.sharedIndex {
+		// The map belongs to the fork source; drop it rather than clear it.
+		e.indexOf = nil
+		e.sharedIndex = false
+	}
 	e.batch, _ = policy.(sched.BatchPolicy)
 	if e.batch != nil {
 		e.batch.ResetQueue()
@@ -313,15 +360,7 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 	case !cfg.PreemptMapTasks:
 		e.preemptIdx = nil
 	case e.preemptIdx == nil:
-		e.preemptIdx = sched.NewTournament(
-			func(a, b *sched.JobInfo) bool {
-				if da, db := a.EffectiveDeadline(), b.EffectiveDeadline(); da != db {
-					return da > db // latest deadline wins the victim tournament
-				}
-				return e.jobByID(a.ID).seq < e.jobByID(b.ID).seq
-			},
-			func(j *sched.JobInfo) bool { return len(e.jobByID(j.ID).runningMaps) > 0 },
-		)
+		e.preemptIdx = e.newPreemptIdx()
 	default:
 		e.preemptIdx.Reset()
 	}
@@ -376,6 +415,7 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 		sj.retryMaps = sj.retryMaps[:0]
 		sj.fillers = sj.fillers[:0]
 		sj.mapStageEvent = false
+		sj.arrived = false
 		sj.departed = false
 		switch {
 		case !cfg.PreemptMapTasks:
@@ -396,52 +436,167 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 	return nil
 }
 
-// jobByID resolves an event's job ID to its engine-local state.
-func (e *Engine) jobByID(id int) *simJob {
-	if e.indexOf == nil {
-		return &e.jobs[id]
-	}
-	return &e.jobs[e.indexOf[id]]
+// newPreemptIdx builds the preemption victim tournament: active jobs
+// ordered by latest effective deadline (ties: earliest arrival seq),
+// eligible while they have running map tasks. The closures read
+// through jobROByID — pure lookups that must not trigger a
+// copy-on-write chunk copy on forked engines.
+func (e *Engine) newPreemptIdx() *sched.Tournament {
+	return sched.NewTournament(
+		func(a, b *sched.JobInfo) bool {
+			if da, db := a.EffectiveDeadline(), b.EffectiveDeadline(); da != db {
+				return da > db // latest deadline wins the victim tournament
+			}
+			return e.jobROByID(a.ID).seq < e.jobROByID(b.ID).seq
+		},
+		func(j *sched.JobInfo) bool { return len(e.jobROByID(j.ID).runningMaps) > 0 },
+	)
 }
 
-// Run replays the trace to completion. Each New or Reset arms exactly
-// one Run; running twice without a Reset in between would replay on
-// dirty state and is rejected.
-func (e *Engine) Run() (*Result, error) {
-	if e.ran {
-		return nil, fmt.Errorf("engine: Run called twice without Reset")
+// jobAt returns the mutable engine-local state of the job at slab index
+// i, first copying its chunk from the fork source if this engine is a
+// live fork and the chunk is still clean. Ordinary engines pay one nil
+// check. Handlers go through here (or jobByID); pure reads that must
+// not force a copy use jobRO.
+func (e *Engine) jobAt(i int) *simJob {
+	if e.src != nil {
+		e.ensureChunk(i / cowChunkJobs)
 	}
-	e.ran = true
-	for i := range e.jobs {
-		sj := &e.jobs[i]
-		e.q.Push(sj.info.Arrival, evJobArrival, sj.info.ID, nil)
+	return &e.jobs[i]
+}
+
+// jobRO returns read-only job state without triggering a chunk copy:
+// on a live fork, reads of clean chunks fall through to the sealed
+// snapshot's slab. Callers must not mutate the result or retain
+// pointers into it across handlers.
+func (e *Engine) jobRO(i int) *simJob {
+	if e.src != nil && !e.chunkDirty(i/cowChunkJobs) {
+		return &e.src.e.jobs[i]
 	}
-	for e.remaining > 0 {
-		if e.q.Len() == 0 {
-			return nil, fmt.Errorf("engine: deadlock: %d jobs unfinished with empty event queue", e.remaining)
+	return &e.jobs[i]
+}
+
+// jobIndex maps a job ID to its jobs-slab index; negative values are
+// encoded extra-slab slots (injected jobs): index -k-1 is extra[k].
+func (e *Engine) jobIndex(id int) int {
+	if e.indexOf == nil {
+		return id
+	}
+	return e.indexOf[id]
+}
+
+// jobByID resolves an event's job ID to its mutable engine-local state.
+func (e *Engine) jobByID(id int) *simJob {
+	i := e.jobIndex(id)
+	if i < 0 {
+		return e.extra[-i-1]
+	}
+	return e.jobAt(i)
+}
+
+// jobROByID is jobByID without the copy-on-write trigger.
+func (e *Engine) jobROByID(id int) *simJob {
+	i := e.jobIndex(id)
+	if i < 0 {
+		return e.extra[-i-1]
+	}
+	return e.jobRO(i)
+}
+
+// jobLookup is jobByID for IDs that may not exist (mutation APIs).
+func (e *Engine) jobLookup(id int) (*simJob, bool) {
+	if e.indexOf == nil {
+		if id < 0 || id >= len(e.jobs) {
+			return nil, false
 		}
+		return e.jobAt(id), true
+	}
+	i, ok := e.indexOf[id]
+	if !ok {
+		return nil, false
+	}
+	if i < 0 {
+		return e.extra[-i-1], true
+	}
+	return e.jobAt(i), true
+}
+
+// start pushes the initial job arrivals, moving the engine from armed
+// to in-flight. Idempotent while the run is in flight; rejected once
+// the run finished (the old "Run called twice" protection) or the
+// engine was sealed by Snapshot.
+func (e *Engine) start() error {
+	switch e.state {
+	case runIdle:
+		e.state = runStarted
+		for i := range e.jobs {
+			sj := &e.jobs[i]
+			e.q.Push(sj.info.Arrival, evJobArrival, sj.info.ID, nil)
+		}
+		return nil
+	case runStarted:
+		return nil
+	case runDone:
+		return fmt.Errorf("engine: Run called twice without Reset")
+	default:
+		return fmt.Errorf("engine: engine is sealed by Snapshot; Reset before running again")
+	}
+}
+
+// step executes one macro-step: pop the earliest event, drain every
+// event scheduled for that same instant, then run one allocation
+// round. Same-instant draining keeps simultaneous arrivals and
+// departures all visible to the policy before any slot is handed out
+// (otherwise the first of two same-time arrivals would grab every slot
+// unconditionally). Macro-step boundaries are the only pause — and
+// therefore the only snapshot/fork — points: between steps no job
+// holds a half-processed event, which is what keeps lazily copied jobs
+// remappable (see fork.go).
+func (e *Engine) step() error {
+	if e.q.Len() == 0 {
+		return fmt.Errorf("engine: deadlock: %d jobs unfinished with empty event queue", e.remaining)
+	}
+	ev := e.q.Pop()
+	e.clock.AdvanceTo(ev.Time)
+	if err := e.handle(ev); err != nil {
+		return err
+	}
+	e.q.Free(ev)
+	for e.q.Len() > 0 && e.q.Peek().Time == e.clock.Now() {
 		ev := e.q.Pop()
-		e.clock.AdvanceTo(ev.Time)
 		if err := e.handle(ev); err != nil {
-			return nil, err
+			return err
 		}
 		e.q.Free(ev)
-		// Drain every event scheduled for this same instant before making
-		// allocation decisions, so simultaneous arrivals and departures
-		// are all visible to the policy (otherwise the first of two
-		// same-time arrivals would grab every slot unconditionally).
-		for e.q.Len() > 0 && e.q.Peek().Time == e.clock.Now() {
-			ev := e.q.Pop()
-			if err := e.handle(ev); err != nil {
-				return nil, err
-			}
-			e.q.Free(ev)
-		}
-		e.allocate()
 	}
-	res := &Result{Events: e.q.Fired(), Jobs: make([]JobOutcome, 0, len(e.jobs))}
+	e.allocate()
+	return nil
+}
+
+// Run replays the trace to completion and assembles the Result. Each
+// New or Reset arms exactly one full replay; running twice without a
+// Reset in between would replay on dirty state and is rejected. Run
+// after RunEvents continues the paused replay; Run on a fork continues
+// from the branch point.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	for e.remaining > 0 {
+		if err := e.step(); err != nil {
+			return nil, err
+		}
+	}
+	e.state = runDone
+	res := &Result{Events: e.q.Fired(), Jobs: make([]JobOutcome, 0, len(e.jobs)+len(e.extra))}
 	for i := range e.jobs {
-		sj := &e.jobs[i]
+		sj := e.jobRO(i)
+		res.Jobs = append(res.Jobs, sj.out)
+		if sj.out.Finish > res.Makespan {
+			res.Makespan = sj.out.Finish
+		}
+	}
+	for _, sj := range e.extra {
 		res.Jobs = append(res.Jobs, sj.out)
 		if sj.out.Finish > res.Makespan {
 			res.Makespan = sj.out.Finish
@@ -452,6 +607,35 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	return res, nil
 }
+
+// RunEvents advances the replay until at least n total events have
+// fired (as counted by the queue's Fired counter — the same index
+// Result.Events reports) or the replay completes, then pauses at a
+// macro-step boundary. It reports whether the replay is complete.
+// RunEvents(0) starts the run — arrivals pushed, nothing fired — so a
+// t=0 snapshot is well-defined. A paused engine accepts the mutation
+// APIs (SetDeadline, InjectJob, SetPolicy), further RunEvents calls,
+// Snapshot, or a finishing Run; note Run, not RunEvents, assembles the
+// Result and emits the sink's RunEnd.
+func (e *Engine) RunEvents(n uint64) (bool, error) {
+	if err := e.start(); err != nil {
+		return false, err
+	}
+	for e.remaining > 0 && e.q.Fired() < n {
+		if err := e.step(); err != nil {
+			return false, err
+		}
+	}
+	return e.remaining == 0, nil
+}
+
+// Now returns the current simulated time — the pause point's timestamp
+// on an engine stopped by RunEvents.
+func (e *Engine) Now() float64 { return e.clock.Now() }
+
+// EventsFired returns the number of events handled so far; on a fork it
+// includes the shared prefix's events, matching Result.Events.
+func (e *Engine) EventsFired() uint64 { return e.q.Fired() }
 
 // counters assembles the run-level observability totals.
 func (e *Engine) counters(res *Result) obs.Counters {
@@ -578,6 +762,7 @@ func (e *Engine) allocateBatch(now float64) {
 
 func (e *Engine) onJobArrival(sj *simJob) {
 	sj.seq = e.arrivalSeq
+	sj.arrived = true
 	e.arrivalSeq++
 	e.active = append(e.active, &sj.info)
 	if e.sink != nil {

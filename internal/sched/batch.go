@@ -39,6 +39,22 @@ package sched
 // to the reference scan (see chooseMap/chooseReduce) and remain
 // correct, just not sub-linear.
 //
+// Rebuild contract (the engine's fork path, DESIGN.md §12): calling
+// ResetQueue and then OnJobAdmit for every live job in queue order —
+// even jobs mid-flight, with nonzero progress counters — must yield an
+// index that answers every Choose*/Assign* query exactly like the
+// instance that was maintained incrementally through the full hook
+// stream. This holds for all built-in indexed policies because admit
+// derives everything from the job's current JobInfo: sizing
+// (IndexedMinEDF) is a pure function of Arrival/Deadline/Profile/slot
+// totals, queue loads (IndexedCapacity) fold in the job's current
+// running counts, and tournament answers are insertion-order
+// independent (comparators break all ties down to job ID). Custom
+// BatchPolicy implementations must preserve this property — admit
+// hooks may not assume a job is freshly arrived — or forked engines
+// will diverge from scratch replays. TestIndexRebuildEquivalence pins
+// it; the engine's fork differential suite enforces it end to end.
+//
 // A BatchPolicy carries per-engine mutable state: never share one
 // instance across concurrent engines (use SweepConfig.PolicyFactory).
 type BatchPolicy interface {

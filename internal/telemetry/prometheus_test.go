@@ -114,6 +114,10 @@ func simulateTwoJobs(tel *SimMetrics) {
 	tel.PoolGet(false)
 	tel.PoolGet(true)
 	tel.PoolGet(true)
+
+	// Two what-if branches forked off a shared prefix: known COW splits.
+	tel.ForkDone(1000, 4000)
+	tel.ForkDone(1500, 3500)
 }
 
 // TestSimMetricsGolden pins the full /metrics exposition of the SimMR
@@ -172,6 +176,9 @@ func TestSimMetricsGolden(t *testing.T) {
 		{`simmr_filler_patches_total 1`},
 		{`simmr_engine_pool_gets_total{reused="false"} 1`},
 		{`simmr_engine_pool_gets_total{reused="true"} 2`},
+		{`simmr_engine_forks_total 2`},
+		{`simmr_engine_fork_bytes_copied 2500`},
+		{`simmr_engine_fork_bytes_shared 7500`},
 		{`simmr_makespan_seconds 250`},
 		{`simmr_queue_high_water_events_max 4`},
 	} {
@@ -224,6 +231,7 @@ func TestNilSimMetrics(t *testing.T) {
 	tel.ExpectRuns(5)
 	tel.ReplayDone(time.Second, 100)
 	tel.PoolGet(true)
+	tel.ForkDone(10, 20)
 	tel.Span("run")()
 	tel.Span("bogus")()
 	if tel.Registry() != nil {

@@ -63,6 +63,10 @@ type SimMetrics struct {
 	mapAllocs    *Counter
 	reduceAllocs *Counter
 
+	forksTotal      *Counter
+	forkBytesCopied *Counter
+	forkBytesShared *Counter
+
 	simTime  *MaxGauge
 	makespan *MaxGauge
 	queueMax *MaxGauge
@@ -108,6 +112,12 @@ func NewSimMetrics(shards int) *SimMetrics {
 			"Map slot grants."),
 		reduceAllocs: r.NewCounter("simmr_reduce_slot_allocs_total",
 			"Reduce slot grants."),
+		forksTotal: r.NewCounter("simmr_engine_forks_total",
+			"What-if branch engines forked off sealed snapshots."),
+		forkBytesCopied: r.NewCounter("simmr_engine_fork_bytes_copied",
+			"Engine state bytes physically copied by forks (event-queue clones plus copy-on-write jobs-slab chunks)."),
+		forkBytesShared: r.NewCounter("simmr_engine_fork_bytes_shared",
+			"Engine state bytes forks still served read-only from their snapshot at branch end."),
 		simTime: r.NewMaxGauge("simmr_sim_time_seconds",
 			"Latest simulated timestamp observed across replays (max-merged)."),
 		makespan: r.NewMaxGauge("simmr_makespan_seconds",
@@ -156,6 +166,19 @@ func (t *SimMetrics) ReplayDone(wall time.Duration, events uint64) {
 	if sec > 0 {
 		t.replayRate.Observe(sh, float64(events)/sec)
 	}
+}
+
+// ForkDone records one finished what-if branch: its copy-on-write byte
+// split, read from engine.ForkStats after the branch's Run so lazily
+// copied chunks are fully accounted. Cold path, once per branch.
+func (t *SimMetrics) ForkDone(bytesCopied, bytesShared uint64) {
+	if t == nil {
+		return
+	}
+	sh := t.reg.NextShard()
+	t.forksTotal.Inc(sh)
+	t.forkBytesCopied.Add(sh, bytesCopied)
+	t.forkBytesShared.Add(sh, bytesShared)
 }
 
 // PoolGet records one engine acquisition; wire it to engine.Pool.OnGet.

@@ -1,0 +1,202 @@
+package simmr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"simmr/internal/engine"
+	"simmr/internal/obs"
+	"simmr/internal/parallel"
+	"simmr/internal/sched"
+)
+
+// WhatIf is one branch of a BranchSet: a set of edits applied to a
+// forked engine at the branch point, before the branch runs to
+// completion. All fields are optional; a zero WhatIf replays the
+// unmodified suffix (useful as the control branch).
+type WhatIf struct {
+	// Name labels the branch in error messages; defaults to its index.
+	Name string
+	// Policy, when set, replaces the scheduling policy at the branch
+	// point (Engine.SetPolicy): active jobs are re-admitted under it as
+	// if they had just arrived. Use a fresh instance per branch for
+	// stateful policies (Indexed ones always are).
+	Policy Policy
+	// SetDeadlines moves the deadlines of not-yet-arrived jobs, keyed by
+	// job ID (0 removes a deadline). Applied in ascending ID order.
+	SetDeadlines map[int]float64
+	// InjectJobs adds job arrivals at or after the branch point, applied
+	// in slice order. Templates are treated read-only; IDs must not
+	// collide with the trace's or each other's.
+	InjectJobs []*Job
+	// Mutate, when set, runs after the edits above with the paused
+	// branch engine — the escape hatch for edits the declarative fields
+	// don't cover (e.g. deadline scaling computed from Engine.Now).
+	Mutate func(*Engine) error
+	// Sink observes this branch's own event suffix and RunEnd counters.
+	// The shared prefix is observed once, by BranchSetConfig.Config.Sink.
+	Sink Sink
+}
+
+// BranchSetConfig parameterizes a BranchSet fan-out.
+type BranchSetConfig struct {
+	// Config is the engine configuration for the prefix and every
+	// branch. Config.Sink observes the shared prefix only; per-branch
+	// streams go to WhatIf.Sink. A zero Config means
+	// DefaultReplayConfig, like ReplaySpec.
+	Config ReplayConfig
+	// Trace is the replayed workload, shared read-only.
+	Trace *Trace
+	// Policy schedules the prefix and (unless a branch overrides it)
+	// the branches; nil means FIFO. Must be stateless when set directly
+	// — for Indexed policies set PolicyFactory instead.
+	Policy Policy
+	// PolicyFactory, when set, builds one fresh policy instance for the
+	// prefix and one per branch, overriding Policy. Required for
+	// stateful (Indexed) policies, whose per-engine index cannot be
+	// shared across forks.
+	PolicyFactory func() Policy
+	// BranchEvents is the branch point as a total-event count: the
+	// prefix runs until this many events have fired (or the replay
+	// ends, whichever is first), then every branch forks there. 0 forks
+	// at t=0 with all arrivals still pending.
+	BranchEvents uint64
+	// Workers bounds concurrent branches: 0 means one per CPU, 1 forces
+	// the serial path. Results are in branch order regardless.
+	Workers int
+	// Progress, when set, receives bounded-rate (done, total) callbacks.
+	Progress ProgressFunc
+	// Telemetry, when set, records the fan-out into the sharded metrics
+	// registry: fork counts and copied-vs-shared bytes (ForkDone), each
+	// branch's wall time and suffix events/sec (ReplayDone), engine
+	// pool reuse, and every branch's event stream.
+	Telemetry *Telemetry
+}
+
+// BranchSet answers K what-if questions for the price of one shared
+// prefix: it replays Config/Trace/Policy up to BranchEvents once, seals
+// the engine, and fans the branches out across a worker pool — each
+// branch a pooled copy-on-write fork (cloned event queue, lazily copied
+// job state) that applies its edits and runs to completion. Results
+// come back in branch order; every branch result is byte-identical to
+// a from-scratch replay paused at the same event with the same edits
+// (the engine's fork differential suite enforces this). The first
+// failing branch's error (lowest index) is returned.
+func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*ReplayResult, error) {
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		return nil, fmt.Errorf("simmr: branch set: %w", ErrEmptyWorkload)
+	}
+	if len(branches) == 0 {
+		return nil, nil
+	}
+	mkPolicy := cfg.PolicyFactory
+	if mkPolicy == nil {
+		p := cfg.Policy
+		if p == nil {
+			p = sched.FIFO{}
+		}
+		mkPolicy = func() Policy { return p }
+	}
+	ecfg := cfg.Config
+	sink := ecfg.Sink
+	ecfg.Sink = nil
+	if ecfg == (ReplayConfig{}) {
+		ecfg = DefaultReplayConfig()
+	}
+	ecfg.Sink = sink
+
+	tel := cfg.Telemetry
+	if tel != nil {
+		tel.ExpectRuns(len(branches))
+		ecfg.Sink = obs.Tee(ecfg.Sink, tel.EngineSink())
+	}
+
+	// Shared prefix: one replay to the branch point, sealed.
+	prefix, err := engine.New(ecfg, cfg.Trace, mkPolicy())
+	if err != nil {
+		return nil, fmt.Errorf("simmr: branch set: prefix: %w", err)
+	}
+	if _, err := prefix.RunEvents(cfg.BranchEvents); err != nil {
+		return nil, fmt.Errorf("simmr: branch set: prefix: %w", err)
+	}
+	snap, err := prefix.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("simmr: branch set: %w", err)
+	}
+	prefixEvents := snap.Events()
+
+	var pool engine.Pool
+	if tel != nil {
+		pool.OnGet = tel.PoolGet
+	}
+	_, sharedPolicy := mkPolicy().(sched.BatchPolicy)
+
+	return parallel.MapProgress(ctx, cfg.Workers, len(branches), cfg.Progress, func(_ context.Context, i int) (*ReplayResult, error) {
+		b := &branches[i]
+		fail := func(err error) (*ReplayResult, error) {
+			return nil, fmt.Errorf("simmr: branch %d (%s): %w", i, branchName(b, i), err)
+		}
+		opts := engine.ForkOptions{Sink: b.Sink}
+		if sharedPolicy {
+			opts.Policy = mkPolicy() // stateful: fresh instance per fork
+		}
+		var start time.Time
+		if tel != nil {
+			opts.Sink = obs.Tee(opts.Sink, tel.EngineSink())
+			start = time.Now()
+		}
+		f, err := pool.Fork(snap, opts)
+		if err != nil {
+			return fail(err)
+		}
+		if b.Policy != nil {
+			if err := f.SetPolicy(b.Policy); err != nil {
+				return fail(err)
+			}
+		}
+		// Map iteration order is random; apply in ascending job ID so a
+		// branch is reproducible run to run.
+		ids := make([]int, 0, len(b.SetDeadlines))
+		for id := range b.SetDeadlines {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if err := f.SetDeadline(id, b.SetDeadlines[id]); err != nil {
+				return fail(err)
+			}
+		}
+		for _, j := range b.InjectJobs {
+			if err := f.InjectJob(j); err != nil {
+				return fail(err)
+			}
+		}
+		if b.Mutate != nil {
+			if err := b.Mutate(f); err != nil {
+				return fail(err)
+			}
+		}
+		res, err := f.Run()
+		if err != nil {
+			return fail(err)
+		}
+		if tel != nil {
+			st := f.ForkStats()
+			tel.ForkDone(st.BytesCopied, st.BytesShared)
+			// Branch throughput covers the suffix this branch actually
+			// simulated, not the shared prefix it inherited.
+			tel.ReplayDone(time.Since(start), res.Events-prefixEvents)
+		}
+		pool.Put(f)
+		return res, nil
+	})
+}
+
+func branchName(b *WhatIf, i int) string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return fmt.Sprintf("branch-%d", i)
+}

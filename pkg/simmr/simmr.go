@@ -73,6 +73,32 @@ type (
 	JobOutcome = engine.JobOutcome
 )
 
+// What-if branching types (DESIGN.md §12): pause a replay at any event,
+// seal it into an immutable snapshot, and fork copy-on-write branch
+// engines off the shared prefix — each branch mutates (inject a job,
+// move a deadline, swap the policy) and runs to its own end, byte-
+// identical to a from-scratch replay with the same edits. BranchSet is
+// the fan-out runtime over these primitives.
+type (
+	// Engine is a stepable SimMR replay engine: RunEvents pauses it at
+	// event boundaries, Snapshot seals it for forking, InjectJob /
+	// SetDeadline / SetPolicy edit a paused run.
+	Engine = engine.Engine
+	// EngineSnapshot is a sealed engine state — the shared fork source.
+	EngineSnapshot = engine.Snapshot
+	// ForkOptions parameterizes one fork off a snapshot.
+	ForkOptions = engine.ForkOptions
+	// ForkStats reports a fork's copied-vs-shared byte split.
+	ForkStats = engine.ForkStats
+)
+
+// NewEngine builds a replay engine for stepwise use — RunEvents,
+// Snapshot, Fork. For plain end-to-end replays, Replay and ReplayPool
+// remain the shorter path.
+func NewEngine(cfg ReplayConfig, tr *Trace, p Policy) (*Engine, error) {
+	return engine.New(cfg, tr, p)
+}
+
 // Observability types (DESIGN.md §8): set ReplayConfig.Sink to receive
 // the engine's typed event stream. A nil sink costs nothing; each
 // concurrent engine needs its own sink instance (see SinkFactory).

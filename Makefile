@@ -1,9 +1,14 @@
 GO ?= go
 
+# VERSION is stamped into internal/buildinfo.Version and surfaces as
+# the simmr_build_info gauge on every -debug-addr endpoint.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS  = -ldflags "-X simmr/internal/buildinfo.Version=$(VERSION)"
+
 .PHONY: build test verify bench bench-guard bench-guard-ci clean
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...

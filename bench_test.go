@@ -27,6 +27,14 @@ func BenchmarkReplayAllocs(b *testing.B) { benchkit.Replay(b) }
 // the BENCH_engine.json allocation baseline.
 func BenchmarkReplayObserved(b *testing.B) { benchkit.ReplayObserved(b) }
 
+// BenchmarkAttr is BenchmarkReplayAllocs with the causal attribution
+// sink attached — the full `simmr trace explain` event pipeline (phase
+// ledger, blame hand-offs, critical-path graph), fresh sink per replay,
+// report rendering excluded. Lands in BENCH_engine.json as
+// attr_events_per_sec; compare against BenchmarkReplayAllocs for the
+// price of explanation.
+func BenchmarkAttr(b *testing.B) { benchkit.Attr(b) }
+
 // BenchmarkMultiTenantScan replays 1000 concurrently active jobs
 // through the reference per-slot policy scan — O(slots × jobs) per
 // event, the multi-tenant bottleneck ISSUE 5 targets.

@@ -52,6 +52,7 @@ func main() {
 			SchedAllocsPerOp:     rep.SchedAllocsPerOp,
 			BranchEventsPerSec:   rep.BranchEventsPerSec,
 			BranchSpeedup:        rep.BranchSpeedup,
+			AttrEventsPerSec:     rep.AttrEventsPerSec,
 			BaselineEventsPerSec: rep.Baseline.EventsPerSec,
 			BaselineAllocsPerOp:  rep.Baseline.ReplayAllocsPerOp,
 			Floor:                *floor,
@@ -88,16 +89,17 @@ func main() {
 		ForkNsPerOp:        m.ForkNsPerOp,
 		BranchEventsPerSec: m.BranchEventsPerSec,
 		BranchSpeedup:      m.BranchSpeedup,
+		AttrEventsPerSec:   m.AttrEventsPerSec,
 	})
 	sweep := fmt.Sprintf("sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)",
 		m.SweepSerialSeconds, m.SweepParallelSeconds, m.NumCPU, m.SweepSpeedup)
 	if m.SweepSpeedupSkipped {
 		sweep = fmt.Sprintf("sweep %.3fs serial, speedup skipped (single CPU)", m.SweepSerialSeconds)
 	}
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), %s\n",
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, %s\n",
 		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
 		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup,
-		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, sweep)
+		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, m.AttrEventsPerSec, sweep)
 }
 
 // appendHistory logs one run; a failure to log is a warning, never a

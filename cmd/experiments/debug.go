@@ -1,42 +1,17 @@
 package main
 
 import (
-	"expvar"
-	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
-	"os"
-
+	"simmr/internal/debugserver"
 	"simmr/internal/telemetry"
 )
 
 // startDebugServer exposes live sweep telemetry for the lifetime of the
 // process — experiments runs the longest sweeps in the repo (Figures
-// 7–8 at paper scale are 14,400 replays each), and until now had no
-// debug endpoint at all:
-//
-//	/metrics            Prometheus text exposition from the sharded
-//	                    telemetry registry
-//	/debug/vars         expvar JSON (simmr.metrics mirrors the registry)
-//	/debug/pprof/...    net/http/pprof profiles
-//
-// The returned telemetry is handed to the Figure 7/8 sweep configs;
-// every concurrent cell writes its own registry shard, so the shared
-// aggregation costs no mutex per event.
+// 7–8 at paper scale are 14,400 replays each) — via the shared
+// internal/debugserver surface (/metrics, /debug/vars,
+// /debug/pprof/..., simmr_build_info). The returned telemetry is handed
+// to the Figure 7/8 sweep configs; every concurrent cell writes its own
+// registry shard, so the shared aggregation costs no mutex per event.
 func startDebugServer(addr string) (*telemetry.SimMetrics, error) {
-	tel := telemetry.NewSimMetrics(0)
-	expvar.Publish("simmr.metrics", expvar.Func(tel.ExpvarValue))
-	http.Handle("/metrics", telemetry.Handler(tel.Registry()))
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("debug server: %w", err)
-	}
-	fmt.Fprintf(os.Stderr, "experiments: debug endpoint at http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", ln.Addr())
-	go func() {
-		// The server lives as long as the process; errors after a clean
-		// exit are expected and ignored.
-		_ = http.Serve(ln, nil)
-	}()
-	return tel, nil
+	return debugserver.Start("experiments", addr)
 }

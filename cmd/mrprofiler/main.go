@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"simmr/internal/debugserver"
 	"simmr/pkg/simmr"
 )
 
@@ -28,10 +29,19 @@ func run() error {
 		out    = flag.String("out", "", "output JSON trace file (default stdout)")
 		dbDir  = flag.String("db", "", "store into trace database directory (with -name)")
 		dbName = flag.String("name", "", "trace name inside -db")
+		debug  = flag.String("debug-addr", "", "serve Prometheus /metrics (incl. simmr_build_info), expvar, and pprof on this address")
 	)
 	flag.Parse()
 	if *logs == "" {
 		return fmt.Errorf("need -logs FILE")
+	}
+	var tel *simmr.Telemetry
+	if *debug != "" {
+		var err error
+		tel, err = debugserver.Start("mrprofiler", *debug)
+		if err != nil {
+			return err
+		}
 	}
 
 	f, err := os.Open(*logs)
@@ -39,10 +49,13 @@ func run() error {
 		return err
 	}
 	defer f.Close()
+	stopProfile := tel.Span("run")
 	tr, err := simmr.ProfileLogs(f)
+	stopProfile()
 	if err != nil {
 		return err
 	}
+	defer tel.Span("report")()
 
 	if *dbDir != "" {
 		if *dbName == "" {

@@ -1,44 +1,18 @@
 package main
 
 import (
-	"expvar"
-	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
-	"os"
-
+	"simmr/internal/debugserver"
 	"simmr/pkg/simmr"
 )
 
 // startDebugServer exposes the run's live telemetry and the standard Go
-// profiling endpoints on addr for the lifetime of the process:
-//
-//	/metrics            Prometheus text exposition from the sharded
-//	                    telemetry registry (task-duration / completion
-//	                    histograms, event and slot counters, replay
-//	                    wall-time and lifecycle spans)
-//	/debug/vars         expvar JSON, including simmr.metrics (the same
-//	                    registry merged into the legacy snapshot shape)
-//	/debug/pprof/...    net/http/pprof profiles
-//
-// The returned telemetry must be wired into the replay (Config.Sink via
-// EngineSink, or SweepConfig.Telemetry); it is sharded and lock-free on
-// the hot path, so one instance aggregates any number of concurrent
-// engines without a mutex per event.
+// profiling endpoints on addr for the lifetime of the process — the
+// shared internal/debugserver surface (/metrics, /debug/vars,
+// /debug/pprof/..., simmr_build_info). The returned telemetry must be
+// wired into the replay (Config.Sink via EngineSink, or
+// SweepConfig.Telemetry); it is sharded and lock-free on the hot path,
+// so one instance aggregates any number of concurrent engines without a
+// mutex per event.
 func startDebugServer(addr string) (*simmr.Telemetry, error) {
-	tel := simmr.NewTelemetry()
-	expvar.Publish("simmr.metrics", expvar.Func(tel.ExpvarValue))
-	http.Handle("/metrics", simmr.MetricsHandler(tel))
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("debug server: %w", err)
-	}
-	fmt.Fprintf(os.Stderr, "simmr: debug endpoint at http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", ln.Addr())
-	go func() {
-		// The server lives as long as the process; errors after a clean
-		// exit are expected and ignored.
-		_ = http.Serve(ln, nil)
-	}()
-	return tel, nil
+	return debugserver.Start("simmr", addr)
 }

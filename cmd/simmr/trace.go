@@ -9,18 +9,22 @@ import (
 )
 
 // runTraceCmd dispatches the `simmr trace` subcommands: `run` (replay
-// with observability sinks, export a Chrome trace) and `whatif`
-// (branch one shared replay prefix into K mutated what-if scenarios).
+// with observability sinks, export a Chrome trace), `explain` (causal
+// attribution: per-job wait breakdowns with blame, deadline-miss root
+// causes, and the makespan critical path), and `whatif` (branch one
+// shared replay prefix into K mutated what-if scenarios).
 func runTraceCmd(args []string) error {
 	if len(args) > 0 {
 		switch args[0] {
 		case "run":
 			return runTraceRun(args[1:])
+		case "explain":
+			return runTraceExplain(args[1:])
 		case "whatif":
 			return runTraceWhatif(args[1:])
 		}
 	}
-	return fmt.Errorf("usage: simmr trace run|whatif -trace FILE [flags]")
+	return fmt.Errorf("usage: simmr trace run|explain|whatif -trace FILE [flags]")
 }
 
 // runTraceRun implements `simmr trace run`: replay a workload with the

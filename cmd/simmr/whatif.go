@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"simmr/pkg/simmr"
@@ -30,6 +31,8 @@ func runTraceWhatif(args []string) error {
 		policies    = fs.String("policies", "", "comma-separated policies to swap to at the branch point, one branch each")
 		ddlScales   = fs.String("deadline-scale", "", "comma-separated factors: rescale un-arrived jobs' deadlines, one branch each")
 		workers     = fs.Int("workers", 0, "concurrent branches (0 = one per CPU)")
+		explain     = fs.Bool("explain", false, "attribute every branch causally and diff it against the control (where did each job's time move, which deadline misses were fixed or introduced)")
+		topK        = fs.Int("top", 5, "with -explain: per-branch rows in the diff tables")
 		debugAddr   = fs.String("debug-addr", "", "serve Prometheus /metrics (incl. fork counters), expvar, and pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +114,30 @@ func runTraceWhatif(args []string) error {
 	stopRef()
 	branchEvents := uint64(*at * float64(ref.Events))
 
+	// With -explain, one attribution sink observes the shared prefix and
+	// every branch continues it from a fork: each branch then explains
+	// its entire run — prefix included — and the control branch's report
+	// is the diff baseline.
+	var attrPrefix *simmr.AttrSink
+	var branchAttr []*simmr.AttrSink
+	if *explain {
+		attrPrefix = simmr.NewAttrSink(simmr.AttrOptions{
+			MapSlots:    *mapSlots,
+			ReduceSlots: *reduceSlots,
+			Trace:       tr,
+		})
+		cfg.Sink = attrPrefix
+		branchAttr = make([]*simmr.AttrSink, len(branches))
+		for i := range branches {
+			i := i
+			branches[i].SinkFactory = func() simmr.Sink {
+				s := attrPrefix.Fork()
+				branchAttr[i] = s
+				return s
+			}
+		}
+	}
+
 	stopRun := tel.Span("run")
 	results, err := simmr.BranchSet(context.Background(), simmr.BranchSetConfig{
 		Config:        cfg,
@@ -142,6 +169,20 @@ func runTraceWhatif(args []string) error {
 		fmt.Printf("%s\t%.1f\t%.1f\t%d\t%+.1f\n",
 			branches[i].Name, res.Makespan, sum/float64(len(res.Jobs)),
 			missed, res.Makespan-control.Makespan)
+	}
+
+	if *explain {
+		controlRep := branchAttr[0].Report()
+		tel.ObserveExplanations(controlRep.Jobs)
+		for i := 1; i < len(branches); i++ {
+			rep := branchAttr[i].Report()
+			tel.ObserveExplanations(rep.Jobs)
+			diff := simmr.DiffAttrReports(controlRep, rep)
+			fmt.Printf("\n# branch %s\n", branches[i].Name)
+			if err := diff.WriteTSV(os.Stdout, *topK); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"simmr/internal/debugserver"
 	"simmr/pkg/simmr"
 )
 
@@ -34,10 +35,21 @@ func run() error {
 		out    = flag.String("out", "", "output JSON file (default stdout)")
 		dbDir  = flag.String("db", "", "store into trace database directory (with -name)")
 		dbName = flag.String("name", "", "trace name inside -db")
+		debug  = flag.String("debug-addr", "", "serve Prometheus /metrics (incl. simmr_build_info), expvar, and pprof on this address")
 	)
 	flag.Parse()
 
+	var tel *simmr.Telemetry
+	if *debug != "" {
+		var err error
+		tel, err = debugserver.Start("tracegen", *debug)
+		if err != nil {
+			return err
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
+	stopGen := tel.Span("run")
 	var tr *simmr.Trace
 	var err error
 	switch {
@@ -58,9 +70,11 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
+	stopGen()
 	if err != nil {
 		return err
 	}
+	defer tel.Span("report")()
 
 	if *dbDir != "" {
 		if *dbName == "" {

@@ -142,6 +142,34 @@ func Preempt(b *testing.B, indexed bool) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// Attr measures whole-trace replay with a causal attribution sink
+// attached — the full observability stack the `simmr trace explain`
+// path pays: every event classified into a wait phase, blame hand-offs
+// tracked, the critical-path graph grown. The sink is single-run, so
+// unlike ReplayObserved each iteration builds a fresh one; Report() is
+// deliberately outside the loop (report rendering is a cold path).
+// Compare events/sec against Replay for the price of explanation.
+func Attr(b *testing.B) {
+	tr := fixture(replayJobs)
+	cfg := simmr.DefaultReplayConfig()
+	var pool simmr.ReplayPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Sink = simmr.NewAttrSink(simmr.AttrOptions{
+			MapSlots: cfg.MapSlots, ReduceSlots: cfg.ReduceSlots, Trace: tr,
+		})
+		res, err := pool.Run(cfg, tr, simmr.NewFIFO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // Sweep measures a 16-cell square capacity sweep with the given worker
 // count (1 = serial reference, 0 = one worker per CPU). Cells share one
 // trace; results are byte-identical across worker counts.
@@ -201,6 +229,13 @@ type Metrics struct {
 	BranchEventsPerSec float64 `json:"branch_events_per_sec"`
 	BranchSpeedup      float64 `json:"branch_speedup"`
 
+	// AttrEventsPerSec is replay throughput with the causal attribution
+	// sink attached (fresh sink per replay, report rendering excluded) —
+	// the price of `simmr trace explain`, to be read against
+	// EventsPerSec. The nil-sink path is what the guard holds to its
+	// allocation bound; attribution is pay-when-you-ask by design.
+	AttrEventsPerSec float64 `json:"attr_events_per_sec"`
+
 	GeneratedAt string `json:"generated_at,omitempty"`
 }
 
@@ -228,6 +263,9 @@ func Collect() Metrics {
 	}
 	pre := testing.Benchmark(func(b *testing.B) { Preempt(b, true) })
 	m.PreemptEventsPerSec = pre.Extra["events/sec"]
+
+	at := testing.Benchmark(Attr)
+	m.AttrEventsPerSec = at.Extra["events/sec"]
 
 	// The what-if branching trio runs on every host, single-CPU
 	// included: BranchSpeedup comes from the shared prefix, not from

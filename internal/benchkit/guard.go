@@ -83,6 +83,10 @@ type GuardReport struct {
 	BranchEventsPerSec float64
 	BranchSpeedup      float64
 
+	// The attribution smoke: replay with the causal attribution sink
+	// attached, guarded when the baseline records attr_events_per_sec.
+	AttrEventsPerSec float64
+
 	Baseline Metrics
 	Summary  string
 }
@@ -167,6 +171,19 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 			rep.BranchSpeedup, base.BranchSpeedup, BranchSpeedupFloor, rep.BranchEventsPerSec)
 	}
 
+	// Attribution smoke: the no-sink bound above already proves that
+	// explanation costs nothing when off (the nil-sink path's allocation
+	// count is the very thing allocLimit holds); this reruns the replay
+	// with the attribution sink attached to record — and loosely floor —
+	// what explanation costs when asked for. Skipped against baselines
+	// that predate the attribution benchmark.
+	if base.AttrEventsPerSec > 0 {
+		ab := testing.Benchmark(Attr)
+		rep.AttrEventsPerSec = ab.Extra["events/sec"]
+		rep.Summary += fmt.Sprintf("; attr %.0f events/sec (baseline %.0f)",
+			rep.AttrEventsPerSec, base.AttrEventsPerSec)
+	}
+
 	if rep.AllocsPerOp > allocLimit {
 		return rep, fmt.Errorf("benchkit: replay allocations regressed >%.0f%%: %d/op vs baseline %d/op",
 			AllocTolerance*100, rep.AllocsPerOp, base.ReplayAllocsPerOp)
@@ -186,6 +203,10 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	if base.BranchSpeedup > 0 && rep.BranchSpeedup < BranchSpeedupFloor {
 		return rep, fmt.Errorf("benchkit: what-if branching lost its shared-prefix advantage: %.2fx over independent replays vs floor %.1fx (baseline %.2fx)",
 			rep.BranchSpeedup, BranchSpeedupFloor, base.BranchSpeedup)
+	}
+	if base.AttrEventsPerSec > 0 && floor > 0 && rep.AttrEventsPerSec < base.AttrEventsPerSec*floor {
+		return rep, fmt.Errorf("benchkit: attributed replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
+			rep.AttrEventsPerSec, base.AttrEventsPerSec, floor)
 	}
 	return rep, nil
 }

@@ -30,6 +30,10 @@ type HistoryRecord struct {
 	BranchEventsPerSec float64 `json:"branch_events_per_sec,omitempty"`
 	BranchSpeedup      float64 `json:"branch_speedup,omitempty"`
 
+	// Replay with the causal attribution sink attached; zero on runs
+	// predating the attribution benchmark.
+	AttrEventsPerSec float64 `json:"attr_events_per_sec,omitempty"`
+
 	// Guard runs record what they compared against.
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	BaselineAllocsPerOp  int64   `json:"baseline_allocs_per_op,omitempty"`

@@ -1,0 +1,11 @@
+// Package buildinfo carries link-time build metadata. Version is
+// stamped by the Makefile:
+//
+//	go build -ldflags "-X simmr/internal/buildinfo.Version=$(VERSION)" ./...
+//
+// and surfaces as the version label of the simmr_build_info gauge that
+// every -debug-addr endpoint exports (telemetry.StampBuildInfo).
+package buildinfo
+
+// Version identifies the build; "dev" when not stamped at link time.
+var Version = "dev"

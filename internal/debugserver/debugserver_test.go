@@ -1,0 +1,64 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// One start covers the full surface: /metrics speaks Prometheus text
+// format with the build-info gauge stamped, /debug/vars serves expvar
+// JSON with the merged registry, and a second start is refused (the
+// endpoint registrations are process-global).
+func TestStartServesDebugSurface(t *testing.T) {
+	tel, addr, err := start("test", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel == nil {
+		t.Fatal("nil telemetry")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE simmr_build_info gauge",
+		`simmr_build_info{version="`,
+		`go_version="go`,
+		"simmr_engine_events_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if _, ok := vars["simmr.metrics"]; !ok {
+		t.Error("expvar missing simmr.metrics")
+	}
+
+	if _, _, err := start("test", "127.0.0.1:0"); err == nil {
+		t.Fatal("second start in one process succeeded")
+	}
+}

@@ -269,6 +269,11 @@ type Engine struct {
 	// sink mirrors cfg.Sink; every emission is guarded by a nil check
 	// so the disabled path stays allocation- and branch-cheap.
 	sink obs.Sink
+	// depth is cfg.Sink's DepthSampler side, resolved once at Reset so
+	// step() pays one cached-field nil check instead of a per-step type
+	// assertion; depthTick counts macro-steps between samples.
+	depth     obs.DepthSampler
+	depthTick uint32
 	// Run-level observability counters, maintained unconditionally
 	// (plain increments on cold paths) and delivered via sink.RunEnd.
 	preemptions      uint64
@@ -313,6 +318,8 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 	e.cfg = cfg
 	e.policy = policy
 	e.sink = cfg.Sink
+	e.depth, _ = cfg.Sink.(obs.DepthSampler)
+	e.depthTick = 0
 	e.clock.Reset()
 	e.q.Reset()
 	if cap(e.jobs) >= n {
@@ -570,8 +577,19 @@ func (e *Engine) step() error {
 		e.q.Free(ev)
 	}
 	e.allocate()
+	if e.depth != nil {
+		if e.depthTick++; e.depthTick >= depthSampleEvery {
+			e.depthTick = 0
+			e.depth.SampleDepth(e.clock.Now(), e.q.Len())
+		}
+	}
 	return nil
 }
+
+// depthSampleEvery is the macro-step period of queue-depth sampling
+// for sinks implementing obs.DepthSampler — frequent enough to resolve
+// queue pressure over a run, rare enough to stay off the hot path.
+const depthSampleEvery = 64
 
 // Run replays the trace to completion and assembles the Result. Each
 // New or Reset arms exactly one full replay; running twice without a

@@ -239,6 +239,8 @@ func (s *Snapshot) ForkInto(dst *Engine, opts ForkOptions) error {
 	dst.cfg = src.cfg
 	dst.cfg.Sink = opts.Sink
 	dst.sink = opts.Sink
+	dst.depth, _ = opts.Sink.(obs.DepthSampler)
+	dst.depthTick = 0
 	dst.policy = policy
 	dst.clock = src.clock
 	dst.freeMap = src.freeMap

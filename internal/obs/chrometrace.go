@@ -20,6 +20,7 @@ const (
 	ctPidJobs    = 1
 	ctPidMaps    = 2
 	ctPidReduces = 3
+	ctPidOverlay = 4
 )
 
 // ctEvent is one JSON trace event. Field order is fixed by the struct,
@@ -55,6 +56,29 @@ type ChromeTraceSink struct {
 	tl       *TimelineSink
 	instants []ctEvent
 	counters Counters
+
+	overlayTitle string
+	overlay      []OverlaySpan
+}
+
+// OverlaySpan is one span on the analysis overlay track — a fourth
+// pseudo-process rendered above the slot tracks. The critical-path
+// overlay of `simmr trace explain` is built from these; any
+// post-processing layer can use them without obs depending on it.
+type OverlaySpan struct {
+	// Name labels the span in the viewer.
+	Name string
+	// Cat is the span's category (filterable in the viewer).
+	Cat        string
+	Start, End float64
+	// Detail, when set, appears in the span's args.
+	Detail string
+}
+
+// SetOverlay attaches an overlay track written by the next WriteJSON.
+// Traces without an overlay are byte-identical to pre-overlay exports.
+func (c *ChromeTraceSink) SetOverlay(title string, spans []OverlaySpan) {
+	c.overlayTitle, c.overlay = title, spans
 }
 
 // NewChromeTraceSink returns an empty Chrome trace recorder.
@@ -100,6 +124,13 @@ func (c *ChromeTraceSink) WriteJSON(w io.Writer) error {
 		meta(ctPidMaps, fmt.Sprintf("map slots (%d used)", mapSlots)),
 		meta(ctPidReduces, fmt.Sprintf("reduce slots (%d used)", reduceSlots)),
 	)
+	if len(c.overlay) > 0 {
+		title := c.overlayTitle
+		if title == "" {
+			title = "overlay"
+		}
+		events = append(events, meta(ctPidOverlay, title))
+	}
 
 	for _, sp := range c.tl.Spans() {
 		pid, cat := ctPidMaps, "map"
@@ -128,6 +159,23 @@ func (c *ChromeTraceSink) WriteJSON(w io.Writer) error {
 		events = append(events, ev)
 	}
 	events = append(events, c.instants...)
+
+	for _, ov := range c.overlay {
+		end := ov.End
+		if math.IsInf(end, 1) {
+			end = ov.Start
+		}
+		dur := end - ov.Start
+		ev := ctEvent{
+			Name: ov.Name, Cat: ov.Cat, Phase: "X",
+			TsUS: ov.Start, DurUS: &dur,
+			Pid: ctPidOverlay, Tid: 0,
+		}
+		if ov.Detail != "" {
+			ev.Args = map[string]any{"detail": ov.Detail}
+		}
+		events = append(events, ev)
+	}
 
 	file := ctFile{
 		TraceEvents:     events,

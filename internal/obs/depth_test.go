@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// depthRecSink is a RecordSink that also samples queue depth.
+type depthRecSink struct {
+	RecordSink
+	times  []float64
+	depths []int
+}
+
+func (d *depthRecSink) SampleDepth(now float64, depth int) {
+	d.times = append(d.times, now)
+	d.depths = append(d.depths, depth)
+}
+
+// A tee containing a depth-aware member must forward SampleDepth to
+// exactly the depth-aware members; a tee of depth-blind sinks must not
+// satisfy DepthSampler at all (the engine would pay sampling for
+// nothing).
+func TestTeeDepthSampling(t *testing.T) {
+	plain := &RecordSink{}
+	d1, d2 := &depthRecSink{}, &depthRecSink{}
+	sink := Tee(plain, d1, nil, d2)
+
+	ds, ok := sink.(DepthSampler)
+	if !ok {
+		t.Fatal("tee with depth-aware members does not implement DepthSampler")
+	}
+	ds.SampleDepth(5, 3)
+	ds.SampleDepth(9, 1)
+	for name, d := range map[string]*depthRecSink{"d1": d1, "d2": d2} {
+		if len(d.times) != 2 || d.times[0] != 5 || d.depths[0] != 3 || d.times[1] != 9 || d.depths[1] != 1 {
+			t.Fatalf("%s: samples not forwarded: times=%v depths=%v", name, d.times, d.depths)
+		}
+	}
+
+	// Events still reach every member through the depth-aware tee.
+	ev := Event{Time: 1, Kind: KindJobArrival, JobID: 0, Task: -1}
+	sink.Event(ev)
+	if len(plain.Events) != 1 || len(d1.Events) != 1 {
+		t.Fatal("depth-aware tee dropped events")
+	}
+
+	if _, ok := Tee(&RecordSink{}, &RecordSink{}).(DepthSampler); ok {
+		t.Fatal("depth-blind tee vacuously implements DepthSampler")
+	}
+}
+
+// SetOverlay adds a fourth pseudo-process track; without an overlay the
+// export must not mention it at all.
+func TestChromeTraceOverlay(t *testing.T) {
+	mk := func() *ChromeTraceSink {
+		c := NewChromeTraceSink()
+		c.Event(Event{Time: 0, Kind: KindJobArrival, JobID: 0, Task: -1})
+		c.RunEnd(Counters{Jobs: 1})
+		return c
+	}
+
+	var plain bytes.Buffer
+	if err := mk().WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"pid": 4`) {
+		t.Fatal("overlay track present without SetOverlay")
+	}
+
+	c := mk()
+	c.SetOverlay("critical path", []OverlaySpan{
+		{Name: "j0/m1", Cat: "critical-path", Start: 1, End: 3, Detail: "handed off by job 2"},
+	})
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var gotMeta, gotSpan bool
+	for _, ev := range file.TraceEvents {
+		if ev.Pid != 4 {
+			continue
+		}
+		switch ev.Ph {
+		case "M":
+			gotMeta = true
+			if ev.Args["name"] != "critical path" {
+				t.Fatalf("overlay track titled %v", ev.Args["name"])
+			}
+		case "X":
+			gotSpan = true
+			if ev.Name != "j0/m1" || ev.Cat != "critical-path" || ev.Ts != 1 || ev.Dur != 2 {
+				t.Fatalf("overlay span mangled: %+v", ev)
+			}
+			if ev.Args["detail"] != "handed off by job 2" {
+				t.Fatalf("overlay detail %v", ev.Args["detail"])
+			}
+		}
+	}
+	if !gotMeta || !gotSpan {
+		t.Fatalf("overlay track incomplete: meta=%v span=%v", gotMeta, gotSpan)
+	}
+}

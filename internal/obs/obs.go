@@ -158,6 +158,17 @@ func (r *RecordSink) Event(ev Event) { r.Events = append(r.Events, ev) }
 // RunEnd stores the run counters.
 func (r *RecordSink) RunEnd(c Counters) { r.Counters, r.Ended = c, true }
 
+// DepthSampler is an optional Sink extension: the engine periodically
+// (every few hundred handled events) reports the pending-event-queue
+// depth to sinks that implement it, so queue pressure over time is
+// observable as a distribution, not just the final high-water mark.
+// Like Event, SampleDepth is called from the engine's single goroutine.
+type DepthSampler interface {
+	// SampleDepth reports the event queue's pending population at
+	// simulated time now.
+	SampleDepth(now float64, depth int)
+}
+
 // teeSink fans one engine's stream out to several sinks in order.
 type teeSink struct{ sinks []Sink }
 
@@ -173,8 +184,23 @@ func (t teeSink) RunEnd(c Counters) {
 	}
 }
 
+// depthTeeSink is the tee variant returned when at least one member
+// samples queue depth; kept separate so a depth-blind tee doesn't
+// satisfy DepthSampler vacuously.
+type depthTeeSink struct {
+	teeSink
+	samplers []DepthSampler
+}
+
+func (t depthTeeSink) SampleDepth(now float64, depth int) {
+	for _, s := range t.samplers {
+		s.SampleDepth(now, depth)
+	}
+}
+
 // Tee combines sinks into one that forwards every event and RunEnd to
 // each, in argument order. Nil sinks are skipped; Tee() returns nil.
+// If any member implements DepthSampler, so does the combined sink.
 func Tee(sinks ...Sink) Sink {
 	live := make([]Sink, 0, len(sinks))
 	for _, s := range sinks {
@@ -187,6 +213,15 @@ func Tee(sinks ...Sink) Sink {
 		return nil
 	case 1:
 		return live[0]
+	}
+	var samplers []DepthSampler
+	for _, s := range live {
+		if ds, ok := s.(DepthSampler); ok {
+			samplers = append(samplers, ds)
+		}
+	}
+	if len(samplers) > 0 {
+		return depthTeeSink{teeSink{sinks: live}, samplers}
 	}
 	return teeSink{sinks: live}
 }

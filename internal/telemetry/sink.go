@@ -9,9 +9,11 @@ package telemetry
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"simmr/internal/attr"
 	"simmr/internal/obs"
 )
 
@@ -30,6 +32,9 @@ var (
 	RateBuckets = []float64{1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7}
 	// QueueBuckets covers the event queue's peak pending population.
 	QueueBuckets = []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	// WaitBuckets covers per-job attributed wait times by phase; the
+	// low end resolves near-zero waits (most jobs on an idle cluster).
+	WaitBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 )
 
 // SpanStages are the replay-lifecycle stages timed by Span, in
@@ -49,9 +54,12 @@ type SimMetrics struct {
 	reduceTaskDur *Histogram
 	jobCompletion *Histogram
 	queueHigh     *Histogram
+	queueDepth    *Histogram
 	replayWall    *Histogram
 	replayRate    *Histogram
 	spans         []*Histogram // by SpanStages index
+	jobWait       []*Histogram // by attr.WaitPhases index
+	missCause     []*Counter   // by attr.Phase
 
 	eventsTotal  *Counter
 	eventsByKind []*Counter // by obs.Kind
@@ -71,6 +79,8 @@ type SimMetrics struct {
 	makespan *MaxGauge
 	queueMax *MaxGauge
 	expected atomic.Int64 // runs expected by the current sweep/batch
+
+	buildOnce sync.Once // StampBuildInfo registers at most once
 }
 
 // NewSimMetrics builds the SimMR metric set on a fresh registry;
@@ -92,6 +102,8 @@ func NewSimMetrics(shards int) *SimMetrics {
 			"Simulated job completion times (departure - arrival).", CompletionBuckets),
 		queueHigh: r.NewHistogram("simmr_queue_high_water_events",
 			"Peak pending-event population of the DES queue, one observation per replay.", QueueBuckets),
+		queueDepth: r.NewHistogram("simmr_queue_depth_events",
+			"Pending-event population of the DES queue, sampled periodically during replays (queue pressure over time, not just the high-water mark).", QueueBuckets),
 		replayWall: r.NewHistogram("simmr_replay_wall_seconds",
 			"Wall-clock time per replay through the parallel runtime.", WallBuckets),
 		replayRate: r.NewHistogram("simmr_replay_events_per_second",
@@ -132,6 +144,20 @@ func NewSimMetrics(shards int) *SimMetrics {
 	t.spans = r.NewHistogramVec("simmr_replay_stage_seconds",
 		"Wall-clock replay lifecycle stage timings (trace load, engine build, run, report).",
 		"stage", SpanStages, WallBuckets)
+	waitPhases := make([]string, len(attr.WaitPhases))
+	for i, p := range attr.WaitPhases {
+		waitPhases[i] = p.String()
+	}
+	t.jobWait = r.NewHistogramVec("simmr_job_wait_seconds",
+		"Per-job attributed wait time by phase (attr phase decomposition; one observation per job per phase).",
+		"phase", waitPhases, WaitBuckets)
+	causes := make([]string, attr.PhaseCount)
+	for p := attr.Phase(0); p < attr.PhaseCount; p++ {
+		causes[p] = p.String()
+	}
+	t.missCause = r.NewCounterVec("simmr_deadline_miss_causes_total",
+		"Deadline misses by attributed root cause (the phase that consumed most of the job's completion time).",
+		"cause", causes)
 	return t
 }
 
@@ -288,6 +314,13 @@ func (s *engineSink) Event(ev obs.Event) {
 			delete(s.fillerStarts, fillerKey(ev.JobID, ev.Task))
 		}
 	}
+}
+
+// SampleDepth implements obs.DepthSampler: the engine reports the
+// event queue's pending population periodically during the run, so
+// queue pressure lands in simmr_queue_depth_events as a distribution.
+func (s *engineSink) SampleDepth(_ float64, depth int) {
+	s.t.queueDepth.Observe(s.shard, float64(depth))
 }
 
 // RunEnd folds the run-level counters into the registry and resets the

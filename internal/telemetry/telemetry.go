@@ -28,6 +28,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -180,6 +181,20 @@ func (r *Registry) NewMaxGauge(name, help string) *MaxGauge {
 	g := &MaxGauge{cells: make([]padCell, r.shards)}
 	r.register(&family{name: name, help: help, kind: gaugeKind,
 		children: []child{{mg: g}}})
+	return g
+}
+
+// NewMaxGaugeLabeled registers a max-merged gauge carrying constant
+// pre-rendered labels — the Prometheus `*_info` idiom (a gauge fixed at
+// 1 whose labels carry the payload). Labels render in argument order.
+func (r *Registry) NewMaxGaugeLabeled(name, help string, labels [][2]string) *MaxGauge {
+	g := &MaxGauge{cells: make([]padCell, r.shards)}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
+	}
+	r.register(&family{name: name, help: help, kind: gaugeKind,
+		children: []child{{labels: strings.Join(parts, ","), mg: g}}})
 	return g
 }
 

@@ -38,6 +38,13 @@ type WhatIf struct {
 	// Sink observes this branch's own event suffix and RunEnd counters.
 	// The shared prefix is observed once, by BranchSetConfig.Config.Sink.
 	Sink Sink
+	// SinkFactory, when set, overrides Sink: it is called on the branch's
+	// worker goroutine after the shared prefix has been sealed, so it can
+	// fork prefix-fed stateful sinks. An attribution sink observing the
+	// prefix (via Config.Sink) hands each branch a continuation with
+	// `func() simmr.Sink { return prefixAttr.Fork() }` — the branch then
+	// explains its full run, prefix included, not just the suffix.
+	SinkFactory SinkFactory
 }
 
 // BranchSetConfig parameterizes a BranchSet fan-out.
@@ -138,7 +145,11 @@ func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*
 		fail := func(err error) (*ReplayResult, error) {
 			return nil, fmt.Errorf("simmr: branch %d (%s): %w", i, branchName(b, i), err)
 		}
-		opts := engine.ForkOptions{Sink: b.Sink}
+		bsink := b.Sink
+		if b.SinkFactory != nil {
+			bsink = b.SinkFactory()
+		}
+		opts := engine.ForkOptions{Sink: bsink}
 		if sharedPolicy {
 			opts.Policy = mkPolicy() // stateful: fresh instance per fork
 		}

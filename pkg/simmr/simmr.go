@@ -127,6 +127,9 @@ type (
 	MetricsSink = obs.MetricsSink
 	// SlotSpan is one task execution pinned to a concrete slot.
 	SlotSpan = obs.SlotSpan
+	// OverlaySpan is one span on a ChromeTraceSink analysis overlay
+	// track (see ChromeTraceSink.SetOverlay and AttrOverlay).
+	OverlaySpan = obs.OverlaySpan
 )
 
 // Telemetry is the sharded sweep-wide metrics registry (DESIGN.md §10):

@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS  = -ldflags "-X simmr/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: build test verify bench bench-guard bench-guard-ci clean
+.PHONY: build test verify bench bench-guard bench-guard-ci smoke-bigtrace clean
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -39,6 +39,18 @@ bench-guard:
 # check only catches collapses (>50% regression).
 bench-guard-ci:
 	$(GO) run ./cmd/benchreport -guard -floor 0.5 -history "" -o BENCH_engine.json
+
+# smoke-bigtrace is the large-trace end-to-end check: stream-generate
+# 100k jobs straight to the columnar .strc store (the full trace is
+# never held in memory), inspect it, and replay it mmapped under a
+# 256 MiB memory ceiling — proving load and replay memory stay bounded
+# by job count and unique-template volume, not task-duration volume.
+# CI runs this as the bigtrace-smoke job.
+smoke-bigtrace:
+	$(GO) run ./cmd/tracegen -kind multitenant -n 100000 -format bin -stream -pool 256 -out /tmp/smoke-big.strc
+	$(GO) run ./cmd/simmr trace info -trace /tmp/smoke-big.strc
+	GOMEMLIMIT=256MiB $(GO) run ./cmd/simmr -trace /tmp/smoke-big.strc -policy minedf
+	rm -f /tmp/smoke-big.strc
 
 clean:
 	rm -f BENCH_engine.json

@@ -84,6 +84,16 @@ func BenchmarkCapacitySweepSerial(b *testing.B) { benchkit.Sweep(b, 1) }
 // read-only trace).
 func BenchmarkCapacitySweepParallel(b *testing.B) { benchkit.Sweep(b, 0) }
 
+// BenchmarkTraceLoadBin measures full `.strc` decode (CRC verify,
+// template dedup reconstruction, zero-copy arena views, Validate) in
+// jobs/sec on a 20000-job deduplicated trace.
+func BenchmarkTraceLoadBin(b *testing.B) { benchkit.TraceLoadBin(b) }
+
+// BenchmarkTraceLoadJSON is the reference JSON loader on the identical
+// trace; the ratio against BenchmarkTraceLoadBin is the recorded
+// trace_load_speedup, guarded above benchkit.TraceLoadSpeedupFloor.
+func BenchmarkTraceLoadJSON(b *testing.B) { benchkit.TraceLoadJSON(b) }
+
 // BenchmarkEngineEventThroughput measures raw simulator-engine speed in
 // events per second over a production-like workload. The paper claims
 // "SimMR can process over one million events per second" (§I); see the

@@ -53,6 +53,8 @@ func main() {
 			BranchEventsPerSec:   rep.BranchEventsPerSec,
 			BranchSpeedup:        rep.BranchSpeedup,
 			AttrEventsPerSec:     rep.AttrEventsPerSec,
+			TraceLoadJobsPerSec:  rep.TraceLoadJobsPerSec,
+			TraceLoadSpeedup:     rep.TraceLoadSpeedup,
 			BaselineEventsPerSec: rep.Baseline.EventsPerSec,
 			BaselineAllocsPerOp:  rep.Baseline.ReplayAllocsPerOp,
 			Floor:                *floor,
@@ -81,25 +83,29 @@ func main() {
 	}
 	appendHistory(*history, benchkit.HistoryRecord{
 		Time: now, Mode: "bench", Pass: true,
-		EventsPerSec:       m.EventsPerSec,
-		AllocsPerOp:        m.ReplayAllocsPerOp,
-		BytesPerOp:         m.ReplayBytesPerOp,
-		SchedEventsPerSec:  m.SchedEventsPerSec,
-		SchedAllocsPerOp:   m.SchedAllocsPerOp,
-		ForkNsPerOp:        m.ForkNsPerOp,
-		BranchEventsPerSec: m.BranchEventsPerSec,
-		BranchSpeedup:      m.BranchSpeedup,
-		AttrEventsPerSec:   m.AttrEventsPerSec,
+		EventsPerSec:        m.EventsPerSec,
+		AllocsPerOp:         m.ReplayAllocsPerOp,
+		BytesPerOp:          m.ReplayBytesPerOp,
+		SchedEventsPerSec:   m.SchedEventsPerSec,
+		SchedAllocsPerOp:    m.SchedAllocsPerOp,
+		ForkNsPerOp:         m.ForkNsPerOp,
+		BranchEventsPerSec:  m.BranchEventsPerSec,
+		BranchSpeedup:       m.BranchSpeedup,
+		AttrEventsPerSec:    m.AttrEventsPerSec,
+		TraceLoadJobsPerSec: m.TraceLoadJobsPerSec,
+		TraceLoadSpeedup:    m.TraceLoadSpeedup,
+		TraceBytesPerJob:    m.TraceBytesPerJob,
 	})
 	sweep := fmt.Sprintf("sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)",
 		m.SweepSerialSeconds, m.SweepParallelSeconds, m.NumCPU, m.SweepSpeedup)
 	if m.SweepSpeedupSkipped {
 		sweep = fmt.Sprintf("sweep %.3fs serial, speedup skipped (single CPU)", m.SweepSerialSeconds)
 	}
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, %s\n",
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, trace load %.0f jobs/sec (%.1fx over JSON, %.1f B/job), %s\n",
 		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
 		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup,
-		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, m.AttrEventsPerSec, sweep)
+		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, m.AttrEventsPerSec,
+		m.TraceLoadJobsPerSec, m.TraceLoadSpeedup, m.TraceBytesPerJob, sweep)
 }
 
 // appendHistory logs one run; a failure to log is a warning, never a

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -72,6 +73,7 @@ func run() error {
 		step        = flag.Float64("step", 0, "timeline sample step in seconds (default: makespan/200)")
 		info        = flag.Bool("info", false, "print trace statistics and exit without simulating")
 		sweep       = flag.String("sweep", "", "comma-separated map-slot counts: replay across cluster sizes and exit")
+		shard       = flag.String("shard", "", "replay only shard I of N sweep cells, as I/N; shard outputs carry cell indices for merging")
 		jsonOut     = flag.Bool("json", false, "emit per-job results as JSON lines (simmr engine only)")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar run metrics and pprof on this address (e.g. localhost:6060)")
 	)
@@ -98,7 +100,10 @@ func run() error {
 		return nil
 	}
 	if *sweep != "" {
-		return runSweep(tr, *sweep, tel)
+		return runSweep(tr, *sweep, *shard, tel)
+	}
+	if *shard != "" {
+		return fmt.Errorf("-shard only applies to -sweep")
 	}
 	policy, err := policyByName(*policyName, *shares)
 	if err != nil {
@@ -207,8 +212,11 @@ func writeTimeline(path string, res *simmr.ReplayResult, step float64) error {
 // runSweep replays the trace across a grid of square cluster sizes.
 // When telemetry is live (-debug-addr), every concurrent cell reports
 // into the shared sharded registry — each cell's sink writes its own
-// shard, so aggregation costs no mutex per event.
-func runSweep(tr *simmr.Trace, spec string, tel *simmr.Telemetry) error {
+// shard, so aggregation costs no mutex per event. With -shard I/N only
+// this process's residue class of the grid runs (each process can
+// mmap one shared packed trace read-only); the output gains a cell
+// column so shard outputs merge back into grid order.
+func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry) error {
 	var counts []int
 	for _, part := range strings.Split(spec, ",") {
 		var n int
@@ -218,6 +226,11 @@ func runSweep(tr *simmr.Trace, spec string, tel *simmr.Telemetry) error {
 		counts = append(counts, n)
 	}
 	scfg := simmr.SweepConfig{MapSlotCounts: counts, Telemetry: tel}
+	if shard != "" {
+		if _, err := fmt.Sscanf(shard, "%d/%d", &scfg.ShardIndex, &scfg.Shards); err != nil {
+			return fmt.Errorf("bad -shard %q (want I/N)", shard)
+		}
+	}
 	stopRun := tel.Span("run")
 	points, err := simmr.CapacitySweep(tr, scfg)
 	stopRun()
@@ -225,6 +238,14 @@ func runSweep(tr *simmr.Trace, spec string, tel *simmr.Telemetry) error {
 		return err
 	}
 	defer tel.Span("report")()
+	if shard != "" {
+		fmt.Println("cell\tmap_slots\treduce_slots\tmakespan_s\tmean_completion_s\tmissed_deadlines")
+		for _, p := range points {
+			fmt.Printf("%d\t%d\t%d\t%.1f\t%.1f\t%d\n",
+				p.Cell, p.MapSlots, p.ReduceSlots, p.Makespan, p.MeanCompletion, p.DeadlinesMissed)
+		}
+		return nil
+	}
 	fmt.Println("map_slots\treduce_slots\tmakespan_s\tmean_completion_s\tmissed_deadlines")
 	for _, p := range points {
 		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\n",
@@ -250,6 +271,20 @@ func printInfo(tr *simmr.Trace) {
 func loadTrace(path, dbDir, dbName string) (*simmr.Trace, error) {
 	switch {
 	case path != "":
+		// Sniff the magic so packed `.strc` traces load via mmap no
+		// matter their extension; anything else goes to the JSON
+		// decoder. Callers never hold more than the packed pages plus
+		// the decoded job table in memory.
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		var head [4]byte
+		n, _ := io.ReadFull(f, head[:])
+		f.Close()
+		if n == len(head) && simmr.IsPackedTrace(head[:]) {
+			return simmr.OpenPackedTrace(path)
+		}
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simmr/internal/tracebin"
+	"simmr/pkg/simmr"
+)
+
+// runTracePack implements `simmr trace pack`: convert a JSON trace (or
+// a trace-database entry) into the columnar binary `.strc` store. The
+// conversion is lossless — `simmr trace unpack` recovers the original
+// trace exactly (float64 values round-trip bit-for-bit through both
+// formats).
+func runTracePack(args []string) error {
+	fs := flag.NewFlagSet("trace pack", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "path to a trace JSON file")
+		dbDir     = fs.String("db", "", "trace database directory (with -name)")
+		dbName    = fs.String("name", "", "trace name inside -db")
+		out       = fs.String("out", "", "output `.strc` path (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("trace pack: -out is required")
+	}
+	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
+	if err != nil {
+		return err
+	}
+	if err := simmr.WritePackedTrace(*out, tr); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "packed %d jobs into %s (%d bytes, %.1f B/job)\n",
+		len(tr.Jobs), *out, st.Size(), float64(st.Size())/float64(len(tr.Jobs)))
+	return nil
+}
+
+// runTraceUnpack implements `simmr trace unpack`: convert a packed
+// `.strc` trace back to the JSON wire format.
+func runTraceUnpack(args []string) error {
+	fs := flag.NewFlagSet("trace unpack", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "path to a packed `.strc` trace")
+		out       = fs.String("out", "", "output JSON path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("trace unpack: -trace is required")
+	}
+	tr, err := simmr.OpenPackedTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	data, err := simmr.EncodeTrace(tr)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "unpacked %d jobs to %s\n", len(tr.Jobs), *out)
+	return nil
+}
+
+// runTraceInfo implements `simmr trace info`: print the section-level
+// layout of a packed trace — sizes, CRCs, dedup ratio, load mode.
+func runTraceInfo(args []string) error {
+	fs := flag.NewFlagSet("trace info", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "path to a packed `.strc` trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("trace info: -trace is required")
+	}
+	s, err := tracebin.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	info := s.Info()
+	mode := "copied (io.ReaderAt fallback)"
+	if info.Mapped {
+		mode = "mmap (zero-copy arena)"
+	}
+	fmt.Printf("trace %q: %d bytes, %s\n", s.Trace().Name, info.FileSize, mode)
+	fmt.Printf("%d jobs, %d unique templates (%.1f jobs/template), %d arena floats, %.1f B/job\n",
+		info.Jobs, info.UniqueTemplates, float64(info.Jobs)/float64(info.UniqueTemplates),
+		info.ArenaFloats, info.BytesPerJob)
+	fmt.Println("\nsection     offset       size        crc32c")
+	for _, sec := range info.Sections {
+		fmt.Printf("%-9s %10d %10d      %08x\n", sec.Name, sec.Offset, sec.Size, sec.CRC)
+	}
+	return nil
+}

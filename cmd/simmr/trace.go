@@ -11,8 +11,10 @@ import (
 // runTraceCmd dispatches the `simmr trace` subcommands: `run` (replay
 // with observability sinks, export a Chrome trace), `explain` (causal
 // attribution: per-job wait breakdowns with blame, deadline-miss root
-// causes, and the makespan critical path), and `whatif` (branch one
-// shared replay prefix into K mutated what-if scenarios).
+// causes, and the makespan critical path), `whatif` (branch one shared
+// replay prefix into K mutated what-if scenarios), `pack`/`unpack`
+// (convert between JSON and the columnar binary `.strc` store), and
+// `info` (section-level layout of a packed trace).
 func runTraceCmd(args []string) error {
 	if len(args) > 0 {
 		switch args[0] {
@@ -22,9 +24,15 @@ func runTraceCmd(args []string) error {
 			return runTraceExplain(args[1:])
 		case "whatif":
 			return runTraceWhatif(args[1:])
+		case "pack":
+			return runTracePack(args[1:])
+		case "unpack":
+			return runTraceUnpack(args[1:])
+		case "info":
+			return runTraceInfo(args[1:])
 		}
 	}
-	return fmt.Errorf("usage: simmr trace run|explain|whatif -trace FILE [flags]")
+	return fmt.Errorf("usage: simmr trace run|explain|whatif|pack|unpack|info -trace FILE [flags]")
 }
 
 // runTraceRun implements `simmr trace run`: replay a workload with the

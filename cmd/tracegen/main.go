@@ -6,6 +6,12 @@
 //	tracegen -kind facebook -n 100 -mean-interarrival 60 -out fb.json
 //	tracegen -kind production -n 1148 -out prod.json
 //	tracegen -kind facebook -n 50 -db traces -name fb50
+//	tracegen -kind production -n 1000000 -format bin -stream -pool 512 -out big.strc
+//
+// -format bin writes the columnar binary `.strc` format instead of
+// JSON; adding -stream generates jobs straight into the packed writer
+// from a fixed template pool, so memory stays bounded no matter how
+// many jobs are requested.
 package main
 
 import (
@@ -27,17 +33,31 @@ func main() {
 
 func run() error {
 	var (
-		kind   = flag.String("kind", "facebook", "workload kind: facebook or production")
-		spec   = flag.String("spec", "", "JSON workload-description file (overrides -kind)")
-		n      = flag.Int("n", 100, "number of jobs")
-		meanIA = flag.Float64("mean-interarrival", 60, "mean exponential inter-arrival time (facebook kind)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "", "output JSON file (default stdout)")
-		dbDir  = flag.String("db", "", "store into trace database directory (with -name)")
-		dbName = flag.String("name", "", "trace name inside -db")
-		debug  = flag.String("debug-addr", "", "serve Prometheus /metrics (incl. simmr_build_info), expvar, and pprof on this address")
+		kind    = flag.String("kind", "facebook", "workload kind: facebook, production, or multitenant")
+		spec    = flag.String("spec", "", "JSON workload-description file (overrides -kind)")
+		n       = flag.Int("n", 100, "number of jobs")
+		meanIA  = flag.Float64("mean-interarrival", 60, "mean exponential inter-arrival time")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout; required for -format bin)")
+		format  = flag.String("format", "json", "output format: json or bin (`.strc` columnar binary)")
+		stream  = flag.Bool("stream", false, "stream jobs into the packed writer in bounded memory (requires -format bin and -out)")
+		pool    = flag.Int("pool", 64, "template-pool size for -stream: unique templates shared across jobs (0 = fresh template per job)")
+		dlFrac  = flag.Float64("deadline-frac", 0, "fraction of streamed jobs carrying deadlines")
+		dlSlack = flag.Float64("deadline-slack", 900, "mean deadline slack beyond arrival for streamed jobs, seconds")
+		dbDir   = flag.String("db", "", "store into trace database directory (with -name)")
+		dbName  = flag.String("name", "", "trace name inside -db")
+		debug   = flag.String("debug-addr", "", "serve Prometheus /metrics (incl. simmr_build_info), expvar, and pprof on this address")
 	)
 	flag.Parse()
+	if *format != "json" && *format != "bin" {
+		return fmt.Errorf("unknown format %q (want json or bin)", *format)
+	}
+	if *format == "bin" && *out == "" {
+		return fmt.Errorf("-format bin requires -out (the binary format is seekable, not a stream)")
+	}
+	if *stream && *format != "bin" {
+		return fmt.Errorf("-stream requires -format bin")
+	}
 
 	var tel *simmr.Telemetry
 	if *debug != "" {
@@ -49,6 +69,33 @@ func run() error {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *stream {
+		shapes, err := streamShapes(*kind)
+		if err != nil {
+			return err
+		}
+		cfg := simmr.StreamConfig{
+			Name:             fmt.Sprintf("%s-%d", *kind, *n),
+			Jobs:             *n,
+			MeanInterArrival: *meanIA,
+			TemplatePool:     *pool,
+			DeadlineFraction: *dlFrac,
+			DeadlineSlack:    *dlSlack,
+			Shapes:           shapes,
+		}
+		s, err := simmr.NewTraceStream(cfg, rng)
+		if err != nil {
+			return err
+		}
+		defer tel.Span("run")()
+		jobs, uniq, err := simmr.PackStream(*out, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d-job trace (%d unique templates) to %s\n", jobs, uniq, *out)
+		return nil
+	}
 	stopGen := tel.Span("run")
 	var tr *simmr.Trace
 	var err error
@@ -67,6 +114,8 @@ func run() error {
 		tr, err = simmr.GenerateTrace(simmr.FacebookShape(), *n, *meanIA, rng)
 	case *kind == "production":
 		tr, err = simmr.ProductionTrace(*n, rng)
+	case *kind == "multitenant":
+		tr, err = simmr.MultiTenantTrace(*n, rng)
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
@@ -92,6 +141,13 @@ func run() error {
 		return nil
 	}
 
+	if *format == "bin" {
+		if err := simmr.WritePackedTrace(*out, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "packed %d-job trace to %s\n", len(tr.Jobs), *out)
+		return nil
+	}
 	data, err := simmr.EncodeTrace(tr)
 	if err != nil {
 		return err
@@ -105,4 +161,18 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d-job trace to %s\n", len(tr.Jobs), *out)
 	return nil
+}
+
+// streamShapes maps a workload kind to its streaming shape set.
+func streamShapes(kind string) ([]simmr.WeightedShape, error) {
+	switch kind {
+	case "facebook":
+		return []simmr.WeightedShape{{Shape: simmr.FacebookShape(), Weight: 1}}, nil
+	case "production":
+		return simmr.ProductionShapes(), nil
+	case "multitenant":
+		return []simmr.WeightedShape{{Shape: simmr.MultiTenantShape(), Weight: 1}}, nil
+	default:
+		return nil, fmt.Errorf("kind %q has no streaming shapes (want facebook, production, or multitenant)", kind)
+	}
 }

@@ -236,6 +236,18 @@ type Metrics struct {
 	// allocation bound; attribution is pay-when-you-ask by design.
 	AttrEventsPerSec float64 `json:"attr_events_per_sec"`
 
+	// The trace-loader pair: full-decode jobs/sec for the columnar
+	// `.strc` store (trace_load_jobs_per_sec) versus the reference JSON
+	// loader (trace_json_load_jobs_per_sec) on the identical 20000-job
+	// deduplicated trace, their ratio, and the packed image's bytes per
+	// job. The guard holds the ratio to TraceLoadSpeedupFloor — a
+	// structural bound like BranchSpeedup's, since both loaders run on
+	// the same host.
+	TraceLoadJobsPerSec     float64 `json:"trace_load_jobs_per_sec"`
+	TraceJSONLoadJobsPerSec float64 `json:"trace_json_load_jobs_per_sec"`
+	TraceLoadSpeedup        float64 `json:"trace_load_speedup"`
+	TraceBytesPerJob        float64 `json:"trace_bytes_per_job"`
+
 	GeneratedAt string `json:"generated_at,omitempty"`
 }
 
@@ -266,6 +278,17 @@ func Collect() Metrics {
 
 	at := testing.Benchmark(Attr)
 	m.AttrEventsPerSec = at.Extra["events/sec"]
+
+	binLoad := testing.Benchmark(TraceLoadBin)
+	jsonLoad := testing.Benchmark(TraceLoadJSON)
+	m.TraceLoadJobsPerSec = binLoad.Extra["jobs/sec"]
+	m.TraceJSONLoadJobsPerSec = jsonLoad.Extra["jobs/sec"]
+	if m.TraceJSONLoadJobsPerSec > 0 {
+		m.TraceLoadSpeedup = m.TraceLoadJobsPerSec / m.TraceJSONLoadJobsPerSec
+	}
+	if fx, err := traceLoadOnce(); err == nil {
+		m.TraceBytesPerJob = float64(len(fx.bin)) / float64(traceLoadJobs)
+	}
 
 	// The what-if branching trio runs on every host, single-CPU
 	// included: BranchSpeedup comes from the shared prefix, not from

@@ -87,9 +87,26 @@ type GuardReport struct {
 	// attached, guarded when the baseline records attr_events_per_sec.
 	AttrEventsPerSec float64
 
+	// The trace-loader smoke: `.strc` decode vs JSON decode on the same
+	// trace, guarded when the baseline records trace_load_speedup.
+	TraceLoadJobsPerSec float64
+	TraceLoadSpeedup    float64
+
 	Baseline Metrics
 	Summary  string
 }
+
+// TraceLoadSpeedupFloor is the hard lower bound on the `.strc` loader's
+// advantage over the JSON loader on the deduplicated 20000-job fixture.
+// Like BranchSpeedupFloor it is structural, not a fraction of the
+// baseline: both loaders run on the same host, so the ratio barely
+// moves with machine speed. Recorded baselines sit far above this
+// (the columnar decode skips all JSON tokenization and shares one
+// arena across 300+ jobs per template); a drop below 5x means the
+// decode path itself regressed — e.g. the zero-copy arena view fell
+// back to per-template copies, or per-job template duplication crept
+// back in.
+const TraceLoadSpeedupFloor = 5.0
 
 // BranchSpeedupFloor is the hard lower bound on BranchSet's advantage
 // over independent replays (K=8, 90% branch point): the shared prefix
@@ -184,6 +201,22 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 			rep.AttrEventsPerSec, base.AttrEventsPerSec)
 	}
 
+	// Trace-loader smoke: when the baseline records a load speedup,
+	// rerun the `.strc` and JSON loaders on the shared fixture and hold
+	// their ratio to the structural floor. A fixed bound, not a fraction
+	// of the baseline, for the same reason as the branch floor: the two
+	// loaders share the host, so the ratio is machine-independent.
+	if base.TraceLoadSpeedup > 0 {
+		lb := testing.Benchmark(TraceLoadBin)
+		lj := testing.Benchmark(TraceLoadJSON)
+		rep.TraceLoadJobsPerSec = lb.Extra["jobs/sec"]
+		if js := lj.Extra["jobs/sec"]; js > 0 {
+			rep.TraceLoadSpeedup = rep.TraceLoadJobsPerSec / js
+		}
+		rep.Summary += fmt.Sprintf("; trace load %.0f jobs/sec, %.1fx over JSON (baseline %.1fx, floor %.0fx)",
+			rep.TraceLoadJobsPerSec, rep.TraceLoadSpeedup, base.TraceLoadSpeedup, TraceLoadSpeedupFloor)
+	}
+
 	if rep.AllocsPerOp > allocLimit {
 		return rep, fmt.Errorf("benchkit: replay allocations regressed >%.0f%%: %d/op vs baseline %d/op",
 			AllocTolerance*100, rep.AllocsPerOp, base.ReplayAllocsPerOp)
@@ -207,6 +240,10 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	if base.AttrEventsPerSec > 0 && floor > 0 && rep.AttrEventsPerSec < base.AttrEventsPerSec*floor {
 		return rep, fmt.Errorf("benchkit: attributed replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
 			rep.AttrEventsPerSec, base.AttrEventsPerSec, floor)
+	}
+	if base.TraceLoadSpeedup > 0 && rep.TraceLoadSpeedup < TraceLoadSpeedupFloor {
+		return rep, fmt.Errorf("benchkit: packed trace loader lost its advantage over JSON: %.1fx vs floor %.0fx (baseline %.1fx)",
+			rep.TraceLoadSpeedup, TraceLoadSpeedupFloor, base.TraceLoadSpeedup)
 	}
 	return rep, nil
 }

@@ -34,6 +34,12 @@ type HistoryRecord struct {
 	// predating the attribution benchmark.
 	AttrEventsPerSec float64 `json:"attr_events_per_sec,omitempty"`
 
+	// Columnar `.strc` trace loader vs the JSON reference loader; zero
+	// on runs predating the binary trace store.
+	TraceLoadJobsPerSec float64 `json:"trace_load_jobs_per_sec,omitempty"`
+	TraceLoadSpeedup    float64 `json:"trace_load_speedup,omitempty"`
+	TraceBytesPerJob    float64 `json:"trace_bytes_per_job,omitempty"`
+
 	// Guard runs record what they compared against.
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	BaselineAllocsPerOp  int64   `json:"baseline_allocs_per_op,omitempty"`

@@ -1,0 +1,106 @@
+package benchkit
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"simmr/internal/synth"
+	"simmr/pkg/simmr"
+)
+
+// traceLoadJobs sizes the loader benchmark fixture and traceLoadPool its
+// template pool. 20000 jobs over 64 templates is the deduplicated regime
+// the `.strc` format targets: the job table dominates the image, the
+// template pool and duration arena amortize to nothing, and the JSON
+// wire format pays for every inlined template copy.
+const (
+	traceLoadJobs = 20000
+	traceLoadPool = 64
+)
+
+// traceLoadOnce builds the shared loader fixture exactly once per
+// process: one streamed multi-tenant trace serialized through both wire
+// formats. The two images describe the identical trace (the tracebin
+// differential suite proves replay equivalence), so jobs/sec across the
+// two loaders is a like-for-like comparison.
+var traceLoadOnce = sync.OnceValues(func() (struct{ json, bin []byte }, error) {
+	var fx struct{ json, bin []byte }
+	cfg := synth.StreamConfig{
+		Name:             "bench-load",
+		Jobs:             traceLoadJobs,
+		MeanInterArrival: 1,
+		TemplatePool:     traceLoadPool,
+		DeadlineFraction: 0.5,
+		DeadlineSlack:    900,
+		Shapes:           []synth.WeightedShape{{Shape: synth.MultiTenantShape(), Weight: 1}},
+	}
+	s, err := synth.NewStream(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		return fx, err
+	}
+	tr, err := s.Collect()
+	if err != nil {
+		return fx, err
+	}
+	if fx.json, err = simmr.EncodeTrace(tr); err != nil {
+		return fx, err
+	}
+	if fx.bin, err = simmr.PackTrace(tr); err != nil {
+		return fx, err
+	}
+	return fx, nil
+})
+
+// traceLoadFixture returns the JSON and `.strc` images of the shared
+// 20000-job fixture trace.
+func traceLoadFixture(b *testing.B) (jsonData, img []byte) {
+	fx, err := traceLoadOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fx.json, fx.bin
+}
+
+// TraceLoadBin measures full `.strc` decode — header and CRC
+// verification, template pool reconstruction, zero-copy arena views,
+// job table walk, Validate — in jobs/sec. This is the in-memory decode
+// path; the mmap path (Open) does strictly less work per byte since the
+// image is never copied.
+func TraceLoadBin(b *testing.B) {
+	_, img := traceLoadFixture(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	var jobs int
+	for i := 0; i < b.N; i++ {
+		tr, err := simmr.DecodePackedTrace(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(tr.Jobs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// TraceLoadJSON measures the reference JSON loader on the same trace —
+// the encoding/json unmarshal of every inlined template plus Validate —
+// in jobs/sec. The ratio against TraceLoadBin is the recorded
+// trace_load_speedup.
+func TraceLoadJSON(b *testing.B) {
+	jsonData, _ := traceLoadFixture(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(jsonData)))
+	b.ResetTimer()
+	var jobs int
+	for i := 0; i < b.N; i++ {
+		tr, err := simmr.DecodeTrace(jsonData)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(tr.Jobs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+}

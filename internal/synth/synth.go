@@ -160,15 +160,9 @@ func (s scaled) Mean() float64                 { return s.d.Mean() * s.f }
 func (s scaled) CDF(x float64) float64         { return s.d.CDF(x / s.f) }
 func (s scaled) String() string                { return fmt.Sprintf("%v*%g", s.d, s.f) }
 
-// ProductionTrace generates the §IV-E performance-evaluation workload:
-// n jobs (the paper replays 1148) drawn from the six application
-// profiles at realistic scale, back to back "without inactivity
-// periods". Map counts are bootstrapped per job so job sizes vary the
-// way six months of runs would.
-func ProductionTrace(n int, rng *rand.Rand) (*trace.Trace, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("synth: n = %d", n)
-	}
+// productionShapes builds the six application shapes of the §IV-E
+// performance-evaluation workload from the profiled specs.
+func productionShapes() []*JobShape {
 	apps := workload.Apps()
 	shapes := make([]*JobShape, len(apps))
 	for i, app := range apps {
@@ -187,6 +181,19 @@ func ProductionTrace(n int, rng *rand.Rand) (*trace.Trace, error) {
 			Reduce:         spec.ReduceCompute,
 		}
 	}
+	return shapes
+}
+
+// ProductionTrace generates the §IV-E performance-evaluation workload:
+// n jobs (the paper replays 1148) drawn from the six application
+// profiles at realistic scale, back to back "without inactivity
+// periods". Map counts are bootstrapped per job so job sizes vary the
+// way six months of runs would.
+func ProductionTrace(n int, rng *rand.Rand) (*trace.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: n = %d", n)
+	}
+	shapes := productionShapes()
 	tr := &trace.Trace{Name: fmt.Sprintf("production-%d", n)}
 	t := 0.0
 	for i := 0; i < n; i++ {

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sharedJobsTrace builds a trace whose jobs all share k templates —
+// the deduplicated shape the per-unique-template stats paths target.
+func sharedJobsTrace(jobs, k int) *Trace {
+	pool := make([]*Template, k)
+	for i := range pool {
+		pool[i] = &Template{
+			AppName:         "app",
+			NumMaps:         2,
+			NumReduces:      1,
+			MapDurations:    []float64{10 + float64(i), 20 + float64(i)},
+			ReduceDurations: []float64{5 + float64(i)},
+			FirstShuffle:    []float64{1},
+			TypicalShuffle:  []float64{2},
+		}
+	}
+	tr := &Trace{Name: "shared"}
+	for i := 0; i < jobs; i++ {
+		tr.Jobs = append(tr.Jobs, &Job{ID: i, Arrival: float64(i), Template: pool[i%k]})
+	}
+	return tr
+}
+
+// TestStatsDedupMatchesUnshared pins that summing once per unique
+// template and weighting by job count gives the same totals as walking
+// every job's arrays (which Clone's unshared copy still does).
+func TestStatsDedupMatchesUnshared(t *testing.T) {
+	tr := sharedJobsTrace(90, 6)
+	unshared := tr.Clone() // deep copy: every job gets its own template
+	a, b := tr.Stats(), unshared.Stats()
+	if a.Jobs != b.Jobs || a.TotalMaps != b.TotalMaps || a.TotalReduces != b.TotalReduces {
+		t.Fatalf("counts diverged: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.SerialRuntime-b.SerialRuntime) > 1e-9*math.Abs(b.SerialRuntime) {
+		t.Fatalf("serial runtime %v vs %v", a.SerialRuntime, b.SerialRuntime)
+	}
+	for _, name := range b.AppNames {
+		sa, sb := a.Apps[name], b.Apps[name]
+		if sa.Jobs != sb.Jobs || sa.Maps != sb.Maps || sa.Reduces != sb.Reduces {
+			t.Fatalf("app %s counts: %+v vs %+v", name, sa, sb)
+		}
+		if math.Abs(sa.MeanMapDur-sb.MeanMapDur) > 1e-9 ||
+			math.Abs(sa.MeanReduceDur-sb.MeanReduceDur) > 1e-9 ||
+			math.Abs(sa.MeanShuffleDur-sb.MeanShuffleDur) > 1e-9 {
+			t.Fatalf("app %s means diverged: %+v vs %+v", name, sa, sb)
+		}
+	}
+}
+
+func TestSerialRuntimeShared(t *testing.T) {
+	tr := sharedJobsTrace(40, 4)
+	want := tr.Clone().SerialRuntime()
+	if got := tr.SerialRuntime(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("SerialRuntime = %v, want %v", got, want)
+	}
+}
+
+// TestScaleTracePreservesSharing pins that scaling a deduplicated
+// trace resamples each unique template once and keeps the sharing
+// structure (same jobs-per-template partition) in the output.
+func TestScaleTracePreservesSharing(t *testing.T) {
+	tr := sharedJobsTrace(60, 3)
+	rng := rand.New(rand.NewSource(2))
+	out, err := ScaleTrace(tr, 2, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 60 {
+		t.Fatalf("%d jobs out, want 60", len(out.Jobs))
+	}
+	uniq := make(map[*Template]bool)
+	for i, j := range out.Jobs {
+		uniq[j.Template] = true
+		// Sharing partition preserved: jobs i and i+3 shared before,
+		// so they share after.
+		if i >= 3 && (tr.Jobs[i].Template == tr.Jobs[i-3].Template) != (j.Template == out.Jobs[i-3].Template) {
+			t.Fatalf("job %d sharing structure changed under scaling", i)
+		}
+		if j.Arrival != tr.Jobs[i].Arrival || j.ID != tr.Jobs[i].ID {
+			t.Fatalf("job %d arrival/ID mutated by scaling", i)
+		}
+		if j.Template.NumMaps != 2*tr.Jobs[i].Template.NumMaps {
+			t.Fatalf("job %d maps %d, want doubled from %d", i, j.Template.NumMaps, tr.Jobs[i].Template.NumMaps)
+		}
+	}
+	if len(uniq) != 3 {
+		t.Fatalf("%d unique templates after scaling, want 3", len(uniq))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("scaled trace invalid: %v", err)
+	}
+	// The input must be untouched.
+	if tr.Jobs[0].Template.NumMaps != 2 {
+		t.Fatal("ScaleTrace mutated its input")
+	}
+}
+
+func TestScaleTraceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ScaleTrace(nil, 2, false, rng); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := ScaleTrace(&Trace{}, 2, false, rng); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := ScaleTrace(sharedJobsTrace(5, 1), 0, false, rng); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}

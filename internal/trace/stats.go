@@ -31,14 +31,21 @@ type Stats struct {
 }
 
 // Stats computes the summary. It does not require a validated trace but
-// skips nil jobs and templates defensively.
+// skips nil jobs and templates defensively. Duration arrays are summed
+// once per unique template and weighted by occurrence count, so stats
+// over a deduplicated million-job trace never re-walk shared arrays.
 func (tr *Trace) Stats() Stats {
 	s := Stats{Apps: make(map[string]AppStats)}
 	type accum struct {
 		mapDur, redDur, shDur float64
 		mapN, redN, shN       int
 	}
+	type tplSums struct {
+		mapDur, redDur, shDur float64
+		mapN, redN, shN       int
+	}
 	accums := make(map[string]*accum)
+	sums := make(map[*Template]*tplSums)
 	for _, j := range tr.Jobs {
 		if j == nil || j.Template == nil {
 			continue
@@ -63,18 +70,29 @@ func (tr *Trace) Stats() Stats {
 		app.Maps += j.Template.NumMaps
 		app.Reduces += j.Template.NumReduces
 		s.Apps[name] = app
-		for _, d := range j.Template.MapDurations {
-			a.mapDur += d
-			a.mapN++
+		ts := sums[j.Template]
+		if ts == nil {
+			ts = &tplSums{}
+			for _, d := range j.Template.MapDurations {
+				ts.mapDur += d
+			}
+			ts.mapN = len(j.Template.MapDurations)
+			for _, d := range j.Template.ReduceDurations {
+				ts.redDur += d
+			}
+			ts.redN = len(j.Template.ReduceDurations)
+			for _, d := range j.Template.TypicalShuffle {
+				ts.shDur += d
+			}
+			ts.shN = len(j.Template.TypicalShuffle)
+			sums[j.Template] = ts
 		}
-		for _, d := range j.Template.ReduceDurations {
-			a.redDur += d
-			a.redN++
-		}
-		for _, d := range j.Template.TypicalShuffle {
-			a.shDur += d
-			a.shN++
-		}
+		a.mapDur += ts.mapDur
+		a.mapN += ts.mapN
+		a.redDur += ts.redDur
+		a.redN += ts.redN
+		a.shDur += ts.shDur
+		a.shN += ts.shN
 	}
 	s.SerialRuntime = tr.SerialRuntime()
 	for name, a := range accums {

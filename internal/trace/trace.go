@@ -19,6 +19,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync/atomic"
 )
@@ -221,21 +222,56 @@ func (j *Job) RelativeDeadline() float64 {
 }
 
 // Trace is a replayable MapReduce workload: an ordered set of jobs.
+//
+// A trace may be backed by external storage — an mmapped `.strc` file
+// (internal/tracebin) whose arena the templates' duration slices alias
+// zero-copy. The backing is transparent to every consumer (engine,
+// schedulers, snapshot/fork, attribution all treat traces and
+// templates as read-only), but it pins a resource: call Close when a
+// backed trace is no longer needed, and never use it afterwards.
+// Traces without a backing Close as a no-op.
 type Trace struct {
 	// Name labels the trace in the trace database.
 	Name string `json:"name,omitempty"`
 	Jobs []*Job `json:"jobs"`
+
+	// backing pins the storage the job templates alias (nil for plain
+	// heap traces). Clone never carries it: clones are deep copies.
+	backing io.Closer
+}
+
+// SetBacking attaches the storage this trace's templates alias (e.g. a
+// tracebin.Store). Any previous backing is replaced, not closed.
+func (tr *Trace) SetBacking(c io.Closer) { tr.backing = c }
+
+// Backing returns the attached storage, or nil.
+func (tr *Trace) Backing() io.Closer { return tr.backing }
+
+// Close releases the trace's backing storage, if any. The trace (and
+// every template loaded from it) must not be used afterwards.
+func (tr *Trace) Close() error {
+	if tr.backing == nil {
+		return nil
+	}
+	c := tr.backing
+	tr.backing = nil
+	return c.Close()
 }
 
 // ErrEmptyTrace is returned when validating a trace with no jobs.
 var ErrEmptyTrace = errors.New("trace: no jobs")
 
-// Validate checks every job and the trace-level invariants.
+// Validate checks every job and the trace-level invariants. Template
+// validation runs once per *unique* template, not once per job: a
+// deduplicated million-job trace whose jobs share a few hundred
+// templates validates in time proportional to the jobs plus the
+// unique duration volume, never re-walking shared arrays.
 func (tr *Trace) Validate() error {
 	if len(tr.Jobs) == 0 {
 		return ErrEmptyTrace
 	}
 	seen := make(map[int]bool, len(tr.Jobs))
+	validated := make(map[*Template]bool)
 	for i, j := range tr.Jobs {
 		if j == nil || j.Template == nil {
 			return fmt.Errorf("trace %q: job %d is nil or has no template", tr.Name, i)
@@ -250,8 +286,11 @@ func (tr *Trace) Validate() error {
 			return fmt.Errorf("trace %q: duplicate job ID %d", tr.Name, j.ID)
 		}
 		seen[j.ID] = true
-		if err := j.Template.Validate(); err != nil {
-			return fmt.Errorf("trace %q: job %d: %w", tr.Name, i, err)
+		if !validated[j.Template] {
+			if err := j.Template.Validate(); err != nil {
+				return fmt.Errorf("trace %q: job %d: %w", tr.Name, i, err)
+			}
+			validated[j.Template] = true
 		}
 	}
 	return nil
@@ -287,21 +326,29 @@ func (tr *Trace) TotalTasks() (maps, reduces int) {
 // SerialRuntime returns the total task-seconds in the trace: how long
 // the workload would take executed serially on one slot of each kind
 // (the paper quotes "about a week (152 hours)" for its 1148-job trace).
+// Shared templates are summed once and weighted by their job count, so
+// deduplicated traces never re-walk shared duration arrays.
 func (tr *Trace) SerialRuntime() float64 {
+	sums := make(map[*Template]float64)
 	var total float64
 	for _, j := range tr.Jobs {
 		if j == nil || j.Template == nil {
 			continue
 		}
-		for _, d := range j.Template.MapDurations {
-			total += d
+		s, ok := sums[j.Template]
+		if !ok {
+			for _, d := range j.Template.MapDurations {
+				s += d
+			}
+			for _, d := range j.Template.ReduceDurations {
+				s += d
+			}
+			for _, d := range j.Template.TypicalShuffle {
+				s += d
+			}
+			sums[j.Template] = s
 		}
-		for _, d := range j.Template.ReduceDurations {
-			total += d
-		}
-		for _, d := range j.Template.TypicalShuffle {
-			total += d
-		}
+		total += s
 	}
 	return total
 }

@@ -1,0 +1,16 @@
+package tracebin
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// decodeArena materializes the little-endian float64 arena — the
+// portable slow path behind arenaFloats.
+func decodeArena(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mipsle || mips64le || wasm)
+
+package tracebin
+
+// arenaFloats decodes b into a fresh []float64. On big-endian hosts
+// the on-disk little-endian representation cannot be reinterpreted in
+// place, so the arena is always materialized; the copy is still a
+// single contiguous allocation shared by every template span.
+func arenaFloats(b []byte) []float64 {
+	return decodeArena(b)
+}

@@ -1,0 +1,23 @@
+//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mipsle || mips64le || wasm
+
+package tracebin
+
+import "unsafe"
+
+// arenaFloats views b as a []float64. On little-endian hosts the view
+// is zero-copy: the file stores float64 bits little-endian, so the
+// backing bytes (an mmap page-aligned region, or a section copy whose
+// start the format keeps 8-aligned within the file) reinterpret
+// directly. If the base pointer happens to be misaligned (possible
+// only on the heap-copy fallback), the floats are decoded into a
+// fresh slice instead — correctness never depends on the fast path.
+func arenaFloats(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	return decodeArena(b)
+}

@@ -1,0 +1,183 @@
+// Package tracebin implements the `.strc` columnar binary trace store
+// (FORMATS.md format #4): a versioned, little-endian, section-based
+// on-disk representation of a trace.Trace built for million-job
+// replays.
+//
+// Where the JSON format inlines every job's template — so a 1M-job
+// trace materializes 1M duration arrays on load — `.strc` stores each
+// *unique* template once (SimMR's §III-A job-template keying makes
+// most production jobs repeat runs of a few templates) and keeps every
+// task duration in one contiguous float64 arena that templates
+// reference by (offset, length) spans. Loading memory-maps the file
+// and serves trace.Template duration accessors directly off the arena
+// with zero copies, so peak heap is proportional to job *count* and
+// unique-template volume, never to total task-duration volume.
+//
+// File layout (all integers little-endian):
+//
+//	header   160 B fixed: magic, version, counts, section table, CRC
+//	arena    float64 task durations, 8-byte aligned, shared spans
+//	strings  raw UTF-8 blob; (offset,len) refs, interned on write
+//	templates fixed 96 B records: name refs, counts, counter ref,
+//	          four (offset,count) arena spans
+//	counters fixed 16 B records: key ref + float64 value
+//	jobs     fixed 40 B records: id, name ref, arrival, deadline,
+//	          template index
+//
+// Every section carries a CRC-32C checked on open; decode validates
+// all cross-section references before the trace is handed out, so a
+// corrupted or truncated file errors cleanly and never panics or
+// over-reads (FuzzDecodeSTRC pins this).
+package tracebin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// magic identifies a SimMR binary trace file.
+	magic = "STRC"
+	// version is the current format version. Readers reject files with
+	// a different major version; the format is append-only within a
+	// version (new trailing header fields must keep headerSize fixed).
+	version = 1
+
+	// headerSize is the fixed byte length of the header. The arena
+	// starts immediately after it, which keeps the arena 8-byte aligned
+	// for zero-copy float64 views over the mapping.
+	headerSize = 160
+
+	// Section indices into the header's section table.
+	secArena     = 0
+	secStrings   = 1
+	secTemplates = 2
+	secCounters  = 3
+	secJobs      = 4
+	numSections  = 5
+
+	// Fixed record sizes.
+	tplRecSize = 96
+	jobRecSize = 40
+	ctrRecSize = 16
+
+	// sectionEntrySize is one section-table entry: offset u64,
+	// size u64, crc u32, pad u32.
+	sectionEntrySize = 24
+	sectionTableOff  = 32
+	headerCRCOff     = sectionTableOff + numSections*sectionEntrySize // 152
+)
+
+// sectionNames label the section table for `simmr trace info`.
+var sectionNames = [numSections]string{"arena", "strings", "templates", "counters", "jobs"}
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// section is one decoded section-table entry.
+type section struct {
+	off  uint64
+	size uint64
+	crc  uint32
+}
+
+// header is the decoded fixed header.
+type header struct {
+	jobCount uint64
+	tplCount uint64
+	nameOff  uint32
+	nameLen  uint32
+	sections [numSections]section
+}
+
+// encodeHeader serializes h into a fresh headerSize buffer, computing
+// the header CRC over everything before the CRC field.
+func encodeHeader(h *header) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf[0:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
+	// buf[6:8] flags, reserved zero.
+	binary.LittleEndian.PutUint64(buf[8:16], h.jobCount)
+	binary.LittleEndian.PutUint64(buf[16:24], h.tplCount)
+	binary.LittleEndian.PutUint32(buf[24:28], h.nameOff)
+	binary.LittleEndian.PutUint32(buf[28:32], h.nameLen)
+	for i, s := range h.sections {
+		off := sectionTableOff + i*sectionEntrySize
+		binary.LittleEndian.PutUint64(buf[off:off+8], s.off)
+		binary.LittleEndian.PutUint64(buf[off+8:off+16], s.size)
+		binary.LittleEndian.PutUint32(buf[off+16:off+20], s.crc)
+	}
+	binary.LittleEndian.PutUint32(buf[headerCRCOff:headerCRCOff+4], crc32.Checksum(buf[:headerCRCOff], castagnoli))
+	return buf
+}
+
+// decodeHeader parses and integrity-checks the fixed header. It bounds
+// every section against fileSize but does not touch section bytes.
+func decodeHeader(buf []byte, fileSize uint64) (*header, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("tracebin: file too short for header: %d bytes", len(buf))
+	}
+	if string(buf[0:4]) != magic {
+		return nil, fmt.Errorf("tracebin: bad magic %q (want %q)", buf[0:4], magic)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != version {
+		return nil, fmt.Errorf("tracebin: unsupported format version %d (reader supports %d)", v, version)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[headerCRCOff:headerCRCOff+4]), crc32.Checksum(buf[:headerCRCOff], castagnoli); got != want {
+		return nil, fmt.Errorf("tracebin: header CRC mismatch: %08x != %08x", got, want)
+	}
+	h := &header{
+		jobCount: binary.LittleEndian.Uint64(buf[8:16]),
+		tplCount: binary.LittleEndian.Uint64(buf[16:24]),
+		nameOff:  binary.LittleEndian.Uint32(buf[24:28]),
+		nameLen:  binary.LittleEndian.Uint32(buf[28:32]),
+	}
+	for i := range h.sections {
+		off := sectionTableOff + i*sectionEntrySize
+		s := section{
+			off:  binary.LittleEndian.Uint64(buf[off : off+8]),
+			size: binary.LittleEndian.Uint64(buf[off+8 : off+16]),
+			crc:  binary.LittleEndian.Uint32(buf[off+16 : off+20]),
+		}
+		if s.off < headerSize || s.off%8 != 0 {
+			return nil, fmt.Errorf("tracebin: section %s at invalid offset %d", sectionNames[i], s.off)
+		}
+		if s.size > fileSize || s.off > fileSize-s.size {
+			return nil, fmt.Errorf("tracebin: section %s [%d,+%d) exceeds file size %d",
+				sectionNames[i], s.off, s.size, fileSize)
+		}
+		h.sections[i] = s
+	}
+	// Fixed-width sections must match their record counts exactly, and
+	// the counts must not overflow when multiplied out.
+	if h.tplCount > (1<<56)/tplRecSize || h.sections[secTemplates].size != h.tplCount*tplRecSize {
+		return nil, fmt.Errorf("tracebin: template section size %d != %d records x %d",
+			h.sections[secTemplates].size, h.tplCount, tplRecSize)
+	}
+	if h.jobCount > (1<<56)/jobRecSize || h.sections[secJobs].size != h.jobCount*jobRecSize {
+		return nil, fmt.Errorf("tracebin: job section size %d != %d records x %d",
+			h.sections[secJobs].size, h.jobCount, jobRecSize)
+	}
+	if h.sections[secCounters].size%ctrRecSize != 0 {
+		return nil, fmt.Errorf("tracebin: counter section size %d not a multiple of %d",
+			h.sections[secCounters].size, ctrRecSize)
+	}
+	if h.sections[secArena].size%8 != 0 {
+		return nil, fmt.Errorf("tracebin: arena size %d not a multiple of 8", h.sections[secArena].size)
+	}
+	strs := h.sections[secStrings]
+	if uint64(h.nameLen) > strs.size || uint64(h.nameOff) > strs.size-uint64(h.nameLen) {
+		return nil, fmt.Errorf("tracebin: trace name ref [%d,+%d) exceeds string section size %d",
+			h.nameOff, h.nameLen, strs.size)
+	}
+	return h, nil
+}
+
+// checkStringRef bounds one (offset, length) string reference.
+func checkStringRef(off, n uint32, strSize uint64, what string) error {
+	if uint64(n) > strSize || uint64(off) > strSize-uint64(n) {
+		return fmt.Errorf("tracebin: %s string ref [%d,+%d) exceeds string section size %d", what, off, n, strSize)
+	}
+	return nil
+}

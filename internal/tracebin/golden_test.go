@@ -1,0 +1,48 @@
+package tracebin
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// TestGoldenImage pins the on-disk encoding byte for byte: the same
+// trace must always pack to the same image (first-appearance template
+// and string order, key-sorted counters, fixed section layout), and
+// version-1 images written by any past build must keep decoding.
+// Regenerate with `go test ./internal/tracebin -run Golden -update`
+// only on a deliberate, version-bumped format change.
+func TestGoldenImage(t *testing.T) {
+	tr := sharedTrace(t, 25, 4)
+	img, err := Pack(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "shared_v1.strc")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Fatalf("packed image diverged from golden fixture (%d vs %d bytes); "+
+			"an unintended format change, or a deliberate one missing a version bump",
+			len(img), len(want))
+	}
+	s, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden fixture no longer decodes: %v", err)
+	}
+	assertTraceEqual(t, tr, s.Trace())
+}

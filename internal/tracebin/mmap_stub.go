@@ -1,0 +1,14 @@
+//go:build !(linux || darwin)
+
+package tracebin
+
+import (
+	"io"
+	"os"
+)
+
+// tryMmap always declines on platforms without a wired-up mmap; Open
+// falls back to the io.ReaderAt path.
+func tryMmap(_ *os.File, _ int64) ([]byte, io.Closer, bool) {
+	return nil, nil, false
+}

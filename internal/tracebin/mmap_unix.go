@@ -1,0 +1,35 @@
+//go:build linux || darwin
+
+package tracebin
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// tryMmap maps f read-only. Returning ok=false (mapping unsupported or
+// refused — e.g. an odd filesystem) sends Open down the io.ReaderAt
+// fallback; it is never an error.
+func tryMmap(f *os.File, size int64) ([]byte, io.Closer, bool) {
+	if size < headerSize || size != int64(int(size)) {
+		return nil, nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return data, &mmapRegion{data: data}, true
+}
+
+// mmapRegion unmaps on Close.
+type mmapRegion struct{ data []byte }
+
+func (m *mmapRegion) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

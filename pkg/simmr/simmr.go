@@ -38,6 +38,7 @@ import (
 	"simmr/internal/synth"
 	"simmr/internal/telemetry"
 	"simmr/internal/trace"
+	"simmr/internal/tracebin"
 	"simmr/internal/workload"
 )
 
@@ -316,6 +317,70 @@ func EncodeTrace(tr *Trace) ([]byte, error) { return trace.Encode(tr) }
 
 // DecodeTrace parses and validates a JSON trace.
 func DecodeTrace(data []byte) (*Trace, error) { return trace.Decode(data) }
+
+// PackTrace encodes a trace into the columnar binary `.strc` image —
+// deduplicated templates, one contiguous duration arena, per-section
+// CRCs (see FORMATS.md).
+func PackTrace(tr *Trace) ([]byte, error) { return tracebin.Pack(tr) }
+
+// WritePackedTrace packs a trace to path atomically.
+func WritePackedTrace(path string, tr *Trace) error { return tracebin.WriteFile(path, tr) }
+
+// OpenPackedTrace loads a `.strc` file, memory-mapping it where the
+// platform allows so template duration arrays are served zero-copy off
+// the file pages. Call Close on the returned trace when done with it
+// to release the mapping; replaying, sweeping, and forking it work
+// unchanged.
+func OpenPackedTrace(path string) (*Trace, error) {
+	s, err := tracebin.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.Trace(), nil
+}
+
+// DecodePackedTrace decodes an in-memory `.strc` image.
+func DecodePackedTrace(data []byte) (*Trace, error) {
+	s, err := tracebin.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return s.Trace(), nil
+}
+
+// IsPackedTrace reports whether data begins with the `.strc` magic —
+// the format sniff loaders use to pick a decoder.
+func IsPackedTrace(data []byte) bool { return tracebin.IsPacked(data) }
+
+// StreamConfig describes a streaming synthesis run; TraceStream yields
+// its jobs one at a time in arrival order, holding only the template
+// pool in memory.
+type (
+	StreamConfig  = synth.StreamConfig
+	TraceStream   = synth.Stream
+	WeightedShape = synth.WeightedShape
+)
+
+// NewTraceStream starts a streaming synthesis run.
+func NewTraceStream(cfg StreamConfig, rng *rand.Rand) (*TraceStream, error) {
+	return synth.NewStream(cfg, rng)
+}
+
+// PackStream drains a trace stream straight into a packed `.strc` file
+// — generation to disk in bounded memory, no materialized trace.
+// Returns (jobs written, unique templates interned).
+func PackStream(path string, s *TraceStream) (jobs, uniqueTemplates int, err error) {
+	st, err := tracebin.WriteSource(path, s.Name(), s)
+	return st.Jobs, st.UniqueTemplates, err
+}
+
+// ProductionShapes returns the six §IV-E application shapes as a
+// streaming shape set.
+func ProductionShapes() []WeightedShape { return synth.ProductionShapes() }
+
+// MultiTenantShape returns the small-job multi-tenant shape as a
+// streaming shape.
+func MultiTenantShape() *JobShape { return synth.MultiTenantShape() }
 
 // JobShape describes a synthetic job class for Synthetic TraceGen.
 type JobShape = synth.JobShape

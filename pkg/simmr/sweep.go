@@ -27,6 +27,10 @@ var ErrEmptyWorkload = errors.New("simmr: empty workload")
 // SweepPoint is one cell of a capacity-planning sweep: the replay
 // outcome of the workload on a cluster with the given slot counts.
 type SweepPoint struct {
+	// Cell is the point's global grid index (map-slot major), stable
+	// across sharded execution — MergeSweepPoints reassembles shard
+	// outputs in grid order by it.
+	Cell                  int
 	MapSlots, ReduceSlots int
 	Makespan              float64
 	MeanCompletion        float64
@@ -69,6 +73,13 @@ type SweepConfig struct {
 	// events/sec, and the engine pool's reuse hit rate. Nil costs
 	// nothing — the hot path is never touched.
 	Telemetry *Telemetry
+	// Shards/ShardIndex partition the grid for multi-process execution:
+	// with Shards = N > 1, only cells whose global grid index ≡
+	// ShardIndex (mod N) are replayed, and each process can share one
+	// mmapped packed trace read-only. Shards 0 or 1 runs the whole
+	// grid. Reassemble shard outputs with MergeSweepPoints.
+	Shards     int
+	ShardIndex int
 }
 
 // sweepCell is one (map slots, reduce slots) grid position.
@@ -124,6 +135,32 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		}
 	}
 
+	// Shard selection: this process replays only its residue class of
+	// the grid. Global cell indices ride along in the output so
+	// MergeSweepPoints can reassemble grid order across processes.
+	sel := make([]int, 0, len(cells))
+	switch {
+	case cfg.Shards < 0:
+		return nil, fmt.Errorf("simmr: sweep shards = %d", cfg.Shards)
+	case cfg.Shards <= 1:
+		if cfg.ShardIndex != 0 {
+			return nil, fmt.Errorf("simmr: sweep shard index %d without sharding", cfg.ShardIndex)
+		}
+		for i := range cells {
+			sel = append(sel, i)
+		}
+	default:
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.Shards {
+			return nil, fmt.Errorf("simmr: sweep shard index %d outside [0,%d)", cfg.ShardIndex, cfg.Shards)
+		}
+		for i := cfg.ShardIndex; i < len(cells); i += cfg.Shards {
+			sel = append(sel, i)
+		}
+		if len(sel) == 0 {
+			return []SweepPoint{}, nil
+		}
+	}
+
 	// One engine pool per sweep: concurrent cells reuse ~one engine per
 	// worker (queue slab, free list, per-job state) instead of building
 	// an engine per cell. Reset makes reused engines byte-identical to
@@ -131,11 +168,12 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 	var pool engine.Pool
 	tel := cfg.Telemetry
 	if tel != nil {
-		tel.ExpectRuns(len(cells))
+		tel.ExpectRuns(len(sel))
 		pool.OnGet = tel.PoolGet
 	}
-	return parallel.MapProgress(ctx, cfg.Workers, len(cells), cfg.Progress, func(_ context.Context, i int) (SweepPoint, error) {
-		c := cells[i]
+	return parallel.MapProgress(ctx, cfg.Workers, len(sel), cfg.Progress, func(_ context.Context, i int) (SweepPoint, error) {
+		cell := sel[i]
+		c := cells[cell]
 		ecfg := engine.Config{
 			MapSlots:               c.m,
 			ReduceSlots:            c.r,
@@ -158,13 +196,13 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		if tel != nil {
 			tel.ReplayDone(time.Since(start), res.Events)
 		}
-		return sweepPoint(c, res), nil
+		return sweepPoint(cell, c, res), nil
 	})
 }
 
 // sweepPoint condenses one replay into its sweep cell.
-func sweepPoint(c sweepCell, res *engine.Result) SweepPoint {
-	p := SweepPoint{MapSlots: c.m, ReduceSlots: c.r, Makespan: res.Makespan}
+func sweepPoint(cell int, c sweepCell, res *engine.Result) SweepPoint {
+	p := SweepPoint{Cell: cell, MapSlots: c.m, ReduceSlots: c.r, Makespan: res.Makespan}
 	for _, j := range res.Jobs {
 		ct := j.CompletionTime()
 		p.MeanCompletion += ct
@@ -181,6 +219,37 @@ func sweepPoint(c sweepCell, res *engine.Result) SweepPoint {
 		p.MeanCompletion /= float64(n)
 	}
 	return p
+}
+
+// MergeSweepPoints reassembles the outputs of a sharded sweep into the
+// single grid-order slice an unsharded CapacitySweep would have
+// produced. It requires a complete, non-overlapping cover of the grid:
+// duplicate or missing cells are an error (a shard ran twice, or one
+// is still outstanding).
+func MergeSweepPoints(shards ...[]SweepPoint) ([]SweepPoint, error) {
+	n := 0
+	for _, s := range shards {
+		n += len(s)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("simmr: merge of zero sweep points")
+	}
+	out := make([]SweepPoint, n)
+	seen := make([]bool, n)
+	for _, s := range shards {
+		for _, p := range s {
+			if p.Cell < 0 || p.Cell >= n {
+				return nil, fmt.Errorf("simmr: sweep cell %d outside merged grid of %d", p.Cell, n)
+			}
+			if seen[p.Cell] {
+				return nil, fmt.Errorf("simmr: duplicate sweep cell %d in merge", p.Cell)
+			}
+			seen[p.Cell] = true
+			out[p.Cell] = p
+		}
+	}
+	// seen is fully true here: n points, all in [0,n), no duplicates.
+	return out, nil
 }
 
 // SmallestClusterMeeting returns the first sweep point (in grid order,

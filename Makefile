@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS  = -ldflags "-X simmr/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: build test verify bench bench-guard bench-guard-ci smoke-bigtrace clean
+.PHONY: build test verify bench bench-guard bench-guard-ci bench-watch smoke-bigtrace smoke-ops clean
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -22,16 +22,18 @@ verify:
 	$(GO) test -race ./...
 
 # bench regenerates BENCH_engine.json: replay events/sec, allocs per
-# replay, and serial-vs-parallel capacity-sweep wall time.
+# replay, and serial-vs-parallel capacity-sweep wall time. LDFLAGS stamp
+# the version into the BENCH_history.jsonl record so `benchreport
+# -watch` can name the commit range a drift entered in.
 bench:
-	$(GO) run ./cmd/benchreport -o BENCH_engine.json
+	$(GO) run $(LDFLAGS) ./cmd/benchreport -o BENCH_engine.json
 
 # bench-guard reruns the replay benchmark and fails if allocations per
 # replay regressed more than 5% or events/sec dropped more than 10%
 # against BENCH_engine.json. Keeps the pooled replay hot path fast and
 # the disabled observability path free.
 bench-guard:
-	$(GO) run ./cmd/benchreport -guard -o BENCH_engine.json
+	$(GO) run $(LDFLAGS) ./cmd/benchreport -guard -o BENCH_engine.json
 
 # bench-guard-ci is the smoke variant for shared CI runners: the
 # allocation bound is deterministic and stays exact, but wall-clock on
@@ -39,6 +41,14 @@ bench-guard:
 # check only catches collapses (>50% regression).
 bench-guard-ci:
 	$(GO) run ./cmd/benchreport -guard -floor 0.5 -history "" -o BENCH_engine.json
+
+# bench-watch runs no benchmarks: it analyzes BENCH_history.jsonl for
+# rolling-median regressions — drift that stays inside the guard's
+# per-run tolerance but compounds across runs. Exits nonzero when the
+# newest logged run degraded any metric >10% vs the median of the five
+# runs before it.
+bench-watch:
+	$(GO) run ./cmd/benchreport -watch
 
 # smoke-bigtrace is the large-trace end-to-end check: stream-generate
 # 100k jobs straight to the columnar .strc store (the full trace is
@@ -51,6 +61,13 @@ smoke-bigtrace:
 	$(GO) run ./cmd/simmr trace info -trace /tmp/smoke-big.strc
 	GOMEMLIMIT=256MiB $(GO) run ./cmd/simmr -trace /tmp/smoke-big.strc -policy minedf
 	rm -f /tmp/smoke-big.strc
+
+# smoke-ops is the live ops-plane end-to-end check: run a real sweep
+# with the debug server up, then prove the run registry, SSE progress
+# stream, health/buildinfo endpoints, and bench-watch all answer. CI
+# runs this as the ops-smoke job.
+smoke-ops: build
+	./scripts/ops_smoke.sh
 
 clean:
 	rm -f BENCH_engine.json

@@ -35,6 +35,13 @@ func BenchmarkReplayObserved(b *testing.B) { benchkit.ReplayObserved(b) }
 // price of explanation.
 func BenchmarkAttr(b *testing.B) { benchkit.Attr(b) }
 
+// BenchmarkFlightReplay is BenchmarkReplayAllocs with a flight recorder
+// attached — the ops plane's always-on post-mortem ring. Its allocs/op
+// must equal the bare pooled replay's (the ring is preallocated and
+// reused across runs); `make bench-guard` holds it to the very same
+// alloc bound as BenchmarkReplayAllocs, not a separate baseline.
+func BenchmarkFlightReplay(b *testing.B) { benchkit.FlightReplay(b) }
+
 // BenchmarkMultiTenantScan replays 1000 concurrently active jobs
 // through the reference per-slot policy scan — O(slots × jobs) per
 // event, the multi-tenant bottleneck ISSUE 5 targets.

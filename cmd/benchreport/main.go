@@ -16,6 +16,15 @@
 // Every run — bench or guard, pass or fail — also appends one JSON
 // line to -history (default BENCH_history.jsonl), the longitudinal
 // record of measured throughput and allocations over time.
+//
+// With -watch, benchreport runs no benchmarks at all: it reads the
+// -history log, fits a rolling median per metric over the runs
+// preceding the newest record, and exits nonzero if the newest record
+// degraded any metric more than -watch-tol in its bad direction —
+// naming the version range the regression entered in. This catches
+// slow drift that stays inside the guard's per-run tolerance, and is
+// cheap enough for CI to run on every push. Watch never appends to the
+// history (it is an analysis, not a run).
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"simmr/internal/benchkit"
+	"simmr/internal/buildinfo"
 )
 
 func main() {
@@ -34,7 +44,23 @@ func main() {
 	floor := flag.Float64("floor", benchkit.ThroughputFloor,
 		"guard throughput floor as a fraction of the baseline events/sec; <= 0 skips the throughput check")
 	history := flag.String("history", "BENCH_history.jsonl", "append each run's measurements to this JSONL file; empty disables")
+	watch := flag.Bool("watch", false, "analyze -history for rolling-median regressions instead of running benchmarks")
+	watchWindow := flag.Int("watch-window", benchkit.WatchWindow, "number of prior runs the -watch rolling median is fit over")
+	watchTol := flag.Float64("watch-tol", benchkit.WatchTolerance, "-watch degradation threshold vs the rolling median")
 	flag.Parse()
+
+	if *watch {
+		rep, err := benchkit.Watch(*history, *watchWindow, *watchTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: watch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Summary)
+		if len(rep.Regressions) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	now := time.Now().UTC().Format(time.RFC3339)
 	if *guard {
@@ -45,6 +71,7 @@ func main() {
 		}
 		appendHistory(*history, benchkit.HistoryRecord{
 			Time: now, Mode: "guard", Pass: err == nil,
+			Version:              buildinfo.Version,
 			EventsPerSec:         rep.EventsPerSec,
 			AllocsPerOp:          rep.AllocsPerOp,
 			BytesPerOp:           rep.BytesPerOp,
@@ -53,6 +80,8 @@ func main() {
 			BranchEventsPerSec:   rep.BranchEventsPerSec,
 			BranchSpeedup:        rep.BranchSpeedup,
 			AttrEventsPerSec:     rep.AttrEventsPerSec,
+			FlightEventsPerSec:   rep.FlightEventsPerSec,
+			FlightAllocsPerOp:    rep.FlightAllocsPerOp,
 			TraceLoadJobsPerSec:  rep.TraceLoadJobsPerSec,
 			TraceLoadSpeedup:     rep.TraceLoadSpeedup,
 			BaselineEventsPerSec: rep.Baseline.EventsPerSec,
@@ -83,6 +112,7 @@ func main() {
 	}
 	appendHistory(*history, benchkit.HistoryRecord{
 		Time: now, Mode: "bench", Pass: true,
+		Version:             buildinfo.Version,
 		EventsPerSec:        m.EventsPerSec,
 		AllocsPerOp:         m.ReplayAllocsPerOp,
 		BytesPerOp:          m.ReplayBytesPerOp,
@@ -92,6 +122,8 @@ func main() {
 		BranchEventsPerSec:  m.BranchEventsPerSec,
 		BranchSpeedup:       m.BranchSpeedup,
 		AttrEventsPerSec:    m.AttrEventsPerSec,
+		FlightEventsPerSec:  m.FlightEventsPerSec,
+		FlightAllocsPerOp:   m.FlightAllocsPerOp,
 		TraceLoadJobsPerSec: m.TraceLoadJobsPerSec,
 		TraceLoadSpeedup:    m.TraceLoadSpeedup,
 		TraceBytesPerJob:    m.TraceBytesPerJob,
@@ -101,10 +133,11 @@ func main() {
 	if m.SweepSpeedupSkipped {
 		sweep = fmt.Sprintf("sweep %.3fs serial, speedup skipped (single CPU)", m.SweepSerialSeconds)
 	}
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, trace load %.0f jobs/sec (%.1fx over JSON, %.1f B/job), %s\n",
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, flight %.0f events/sec at %d allocs/op, trace load %.0f jobs/sec (%.1fx over JSON, %.1f B/job), %s\n",
 		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
 		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup,
 		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, m.AttrEventsPerSec,
+		m.FlightEventsPerSec, m.FlightAllocsPerOp,
 		m.TraceLoadJobsPerSec, m.TraceLoadSpeedup, m.TraceBytesPerJob, sweep)
 }
 

@@ -118,7 +118,11 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "running %-7s -> %s ...", exp.name, exp.file)
 		res, err := exp.run()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, " FAILED")
+			// The progress ticker may own the line (and on an aborted
+			// sweep it has just delivered its final, accurate count);
+			// rewrite it with the verdict instead of appending to a
+			// partial render. The padding clears any longer remnant.
+			fmt.Fprintf(os.Stderr, "\rrunning %-7s -> %s FAILED%-24s\n", exp.name, exp.file, "")
 			return fmt.Errorf("%s: %w", exp.name, err)
 		}
 		path := filepath.Join(*outDir, exp.file)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"simmr/internal/runs"
 	"simmr/pkg/simmr"
 )
 
@@ -66,8 +67,10 @@ func runTraceExplain(args []string) error {
 		ct = simmr.NewChromeTraceSink()
 		sink = simmr.TeeSinks(attrSink, ct)
 	}
+	opsSink, opsDone := opsRegister(tel, runs.KindAttr, tr, policy,
+		fmt.Sprintf("map_slots=%d reduce_slots=%d", *mapSlots, *reduceSlots))
 	if tel != nil {
-		sink = simmr.TeeSinks(sink, tel.EngineSink())
+		sink = simmr.TeeSinks(sink, tel.EngineSink(), opsSink)
 	}
 	cfg := simmr.ReplayConfig{
 		MapSlots:               *mapSlots,
@@ -76,8 +79,9 @@ func runTraceExplain(args []string) error {
 		Sink:                   sink,
 	}
 	stopRun := tel.Span("run")
-	_, err = simmr.Replay(cfg, tr, policy)
+	res, err := simmr.Replay(cfg, tr, policy)
 	stopRun()
+	opsDone(res, err)
 	if err != nil {
 		return err
 	}

@@ -26,7 +26,16 @@
 //
 // -debug-addr serves live run telemetry — Prometheus /metrics from the
 // sharded registry, expvar /debug/vars — and the net/http/pprof
-// profiling endpoints while a replay runs.
+// profiling endpoints while a replay runs. It also mounts the ops
+// plane: every replay, sweep, and what-if fan-out registers itself at
+// /runs with live progress, an SSE stream, and flight-recorder
+// post-mortems. The `ops` subcommand is the matching client:
+//
+//	simmr ops list  [-addr localhost:6060]    # all runs the process knows
+//	simmr ops watch [run-id] [-addr ...]      # tail one run live (default: latest)
+//
+// -linger keeps the process (and its /runs state) up after the run
+// completes so scrapers and watchers can read the final state.
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"strings"
 
 	"simmr/internal/metrics"
+	"simmr/internal/runs"
 	"simmr/pkg/simmr"
 )
 
@@ -46,6 +56,13 @@ func main() {
 	// falls through to the classic replay path.
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		if err := runTraceCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "simmr:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "ops" {
+		if err := runOpsCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "simmr:", err)
 			os.Exit(1)
 		}
@@ -76,6 +93,7 @@ func run() error {
 		shard       = flag.String("shard", "", "replay only shard I of N sweep cells, as I/N; shard outputs carry cell indices for merging")
 		jsonOut     = flag.Bool("json", false, "emit per-job results as JSON lines (simmr engine only)")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar run metrics and pprof on this address (e.g. localhost:6060)")
+		linger      = flag.Duration("linger", 0, "with -debug-addr: keep the process (and its /runs state) alive this long after the run completes, for scrapers and smoke tests")
 	)
 	flag.Parse()
 
@@ -88,6 +106,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		defer holdOpen(*linger)
 	}
 	stopLoad := tel.Span("load")
 	tr, err := loadTrace(*tracePath, *dbDir, *dbName)
@@ -118,13 +137,16 @@ func run() error {
 			MinMapPercentCompleted: *slowstart,
 			RecordSpans:            *timeline != "",
 		}
+		opsSink, opsDone := opsRegister(tel, runs.KindReplay, tr, policy,
+			fmt.Sprintf("map_slots=%d reduce_slots=%d", *mapSlots, *reduceSlots))
 		if tel != nil {
 			tel.ExpectRuns(1)
-			cfg.Sink = tel.EngineSink()
+			cfg.Sink = simmr.TeeSinks(tel.EngineSink(), opsSink)
 		}
 		stopRun := tel.Span("run")
 		res, err := simmr.Replay(cfg, tr, policy)
 		stopRun()
+		opsDone(res, err)
 		if err != nil {
 			return err
 		}
@@ -226,6 +248,13 @@ func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry) error {
 		counts = append(counts, n)
 	}
 	scfg := simmr.SweepConfig{MapSlotCounts: counts, Telemetry: tel}
+	if tel != nil {
+		// The ops plane rides the debug server: register the sweep so
+		// /runs and `simmr ops watch` can follow it, with per-cell
+		// flight recorders for post-mortems.
+		scfg.Runs = simmr.DefaultRuns()
+		scfg.Flight = -1
+	}
 	if shard != "" {
 		if _, err := fmt.Sscanf(shard, "%d/%d", &scfg.ShardIndex, &scfg.Shards); err != nil {
 			return fmt.Errorf("bad -shard %q (want I/N)", shard)

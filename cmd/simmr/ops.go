@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"simmr/internal/runs"
+	"simmr/pkg/simmr"
+)
+
+// runOpsCmd dispatches `simmr ops`: the client side of the ops plane a
+// -debug-addr process serves. `list` snapshots every known run; `watch`
+// tails one run's SSE progress stream until it ends.
+//
+//	simmr ops list  [-addr localhost:6060]
+//	simmr ops watch [run-id] [-addr localhost:6060]
+//
+// The run id may be a unique prefix; it defaults to "latest", so
+// `simmr ops watch` alone tails whatever the process is doing now.
+func runOpsCmd(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "list":
+			return runOpsList(args[1:])
+		case "watch":
+			return runOpsWatch(args[1:])
+		}
+	}
+	return fmt.Errorf("usage: simmr ops list|watch [run-id] [-addr HOST:PORT]")
+}
+
+func runOpsList(args []string) error {
+	fs := flag.NewFlagSet("ops list", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:6060", "debug address of the simmr process (-debug-addr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get("http://" + *addr + "/runs")
+	if err != nil {
+		return fmt.Errorf("ops list: %w (is the process running with -debug-addr?)", err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Active int                 `json:"active"`
+		Runs   []simmr.RunSnapshot `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return fmt.Errorf("ops list: %w", err)
+	}
+	fmt.Printf("%d active\n", list.Active)
+	fmt.Println("id\tkind\ttrace\tpolicy\tphase\tprogress\toutcome\telapsed_s")
+	for _, s := range list.Runs {
+		outcome := s.Outcome
+		if outcome == runs.OutcomeRunning {
+			outcome = "live"
+		}
+		fmt.Printf("%s\t%s\t%s\t%s\t%s\t%d/%d\t%s\t%.1f\n",
+			s.ID, s.Kind, orDash(s.Trace), orDash(s.Policy), orDash(s.Phase),
+			s.Done, s.Total, outcome, s.ElapsedSec)
+	}
+	return nil
+}
+
+func runOpsWatch(args []string) error {
+	// Accept `simmr ops watch <id> -addr ...` and `simmr ops watch -addr ...`.
+	id := "latest"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("ops watch", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:6060", "debug address of the simmr process (-debug-addr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get("http://" + *addr + "/runs/" + id + "/stream")
+	if err != nil {
+		return fmt.Errorf("ops watch: %w (is the process running with -debug-addr?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ops watch: run %q: %s", id, resp.Status)
+	}
+	return tailStream(resp.Body, os.Stdout)
+}
+
+// tailStream renders an SSE progress stream as one rewriting status
+// line, terminated by the run's final snapshot when the `end` event
+// arrives. Split out from the HTTP client for tests.
+func tailStream(body interface{ Read([]byte) (int, error) }, w *os.File) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var last simmr.RunSnapshot
+	seen := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: end" {
+			break
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		if payload == "{}" {
+			continue
+		}
+		if err := json.Unmarshal([]byte(payload), &last); err != nil {
+			continue
+		}
+		seen = true
+		fmt.Fprintf(w, "\r%s %s %s %d/%d (%.0f%%) %s events=%d elapsed=%.1fs ",
+			last.ID, last.Kind, orDash(last.Phase), last.Done, last.Total,
+			last.Progress*100, barFor(last.Progress), last.Events, last.ElapsedSec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ops watch: stream: %w", err)
+	}
+	if !seen {
+		return fmt.Errorf("ops watch: stream ended without a snapshot")
+	}
+	verdict := last.Outcome
+	if last.Outcome == runs.OutcomeError && last.Error != "" {
+		verdict += ": " + last.Error
+	}
+	fmt.Fprintf(w, "\n%s %s %s in %.1fs (%d/%d, %d events, %d jobs)\n",
+		last.ID, last.Kind, verdict, last.ElapsedSec, last.Done, last.Total,
+		last.Events, last.Jobs)
+	return nil
+}
+
+// barFor renders a 20-cell progress bar.
+func barFor(frac float64) string {
+	const cells = 20
+	filled := int(frac * cells)
+	if filled > cells {
+		filled = cells
+	}
+	if filled < 0 {
+		filled = 0
+	}
+	return "[" + strings.Repeat("#", filled) + strings.Repeat("-", cells-filled) + "]"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// opsRegister registers a CLI invocation with the process-wide run
+// registry (served at /runs while -debug-addr is up) and attaches a
+// default-size flight recorder: the returned sink observes the engine
+// (live progress via the run registry's engine hook plus the flight
+// ring), and finish captures post-mortems — an "error" dump on
+// failure, a "deadline-miss" dump when any job blew its deadline —
+// before ending the run. With tel == nil (no -debug-addr) everything
+// returned is inert.
+func opsRegister(tel *simmr.Telemetry, kind runs.Kind, tr *simmr.Trace, policy simmr.Policy, config string) (simmr.Sink, func(res *simmr.ReplayResult, err error)) {
+	if tel == nil {
+		return nil, func(*simmr.ReplayResult, error) {}
+	}
+	meta := runs.Meta{Kind: kind, Config: config}
+	if tr != nil {
+		meta.Trace = tr.Name
+		meta.TraceHash = fmt.Sprintf("%016x", tr.Hash())
+	}
+	if policy != nil {
+		meta.Policy = policy.Name()
+	}
+	h := simmr.DefaultRuns().Begin(meta)
+	rec := simmr.NewFlightRecorder(-1)
+	rec.SetLabel(string(kind))
+	h.AttachFlight(rec)
+	return simmr.TeeSinks(h.EngineHook(), rec), func(res *simmr.ReplayResult, err error) {
+		if err != nil {
+			h.AddFlightDump(rec.Dump("error"))
+		} else if res != nil {
+			for i := range res.Jobs {
+				if res.Jobs[i].ExceededDeadline() {
+					h.AddFlightDump(rec.Dump("deadline-miss"))
+					break
+				}
+			}
+		}
+		h.End(err)
+	}
+}
+
+// holdOpen keeps the process alive after a run completes so watchers
+// and scrapers can read the final state — used by -linger.
+func holdOpen(d time.Duration) {
+	if d > 0 {
+		fmt.Fprintf(os.Stderr, "simmr: lingering %s for scrapers (-linger)\n", d)
+		time.Sleep(d)
+	}
+}

@@ -3,8 +3,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 
+	"simmr/internal/runs"
 	"simmr/pkg/simmr"
 )
 
@@ -84,8 +87,18 @@ func runTraceRun(args []string) error {
 		tl = simmr.NewTimelineSink()
 		sink = simmr.TeeSinks(ct, tl)
 	}
+	// The attribution sink feeds the end-of-run summary (slot-wait
+	// share); completion percentiles come straight from the result.
+	attrSink := simmr.NewAttrSink(simmr.AttrOptions{
+		MapSlots:    *mapSlots,
+		ReduceSlots: *reduceSlots,
+		Trace:       tr,
+	})
+	sink = simmr.TeeSinks(sink, attrSink)
+	opsSink, opsDone := opsRegister(tel, runs.KindReplay, tr, policy,
+		fmt.Sprintf("map_slots=%d reduce_slots=%d", *mapSlots, *reduceSlots))
 	if tel != nil {
-		sink = simmr.TeeSinks(sink, tel.EngineSink())
+		sink = simmr.TeeSinks(sink, tel.EngineSink(), opsSink)
 	}
 	cfg := simmr.ReplayConfig{
 		MapSlots:               *mapSlots,
@@ -96,6 +109,7 @@ func runTraceRun(args []string) error {
 	stopRun := tel.Span("run")
 	res, err := simmr.Replay(cfg, tr, policy)
 	stopRun()
+	opsDone(res, err)
 	if err != nil {
 		return err
 	}
@@ -127,9 +141,46 @@ func runTraceRun(args []string) error {
 	}
 	fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s\n",
 		len(res.Jobs), res.Makespan, res.Events, policy.Name())
+	printRunSummary(res, attrSink.Report())
 	fmt.Printf("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *out)
 	if tl != nil {
 		fmt.Printf("wrote %s\n", *slotTSV)
 	}
 	return nil
+}
+
+// printRunSummary renders the compact end-of-run digest: job-completion
+// percentiles plus the share of total job time spent waiting rather
+// than running (the attribution sink's wait phases over completions —
+// high share means the cluster, not the work, set the pace).
+func printRunSummary(res *simmr.ReplayResult, rep *simmr.AttrReport) {
+	comp := make([]float64, 0, len(res.Jobs))
+	missed := 0
+	for _, j := range res.Jobs {
+		comp = append(comp, j.CompletionTime())
+		if j.ExceededDeadline() {
+			missed++
+		}
+	}
+	sort.Float64s(comp)
+	// Nearest-rank percentiles; comp is non-empty (the engine rejects
+	// empty workloads).
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(comp)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return comp[i]
+	}
+	var wait, total float64
+	for i := range rep.Jobs {
+		wait += rep.Jobs[i].WaitTotal()
+		total += rep.Jobs[i].Completion()
+	}
+	share := 0.0
+	if total > 0 {
+		share = wait / total
+	}
+	fmt.Printf("completion p50 %.1f s, p95 %.1f s, p99 %.1f s; slot-wait share %.1f%%; %d deadline miss(es)\n",
+		q(0.50), q(0.95), q(0.99), share*100, missed)
 }

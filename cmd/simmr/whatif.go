@@ -138,15 +138,23 @@ func runTraceWhatif(args []string) error {
 		}
 	}
 
-	stopRun := tel.Span("run")
-	results, err := simmr.BranchSet(context.Background(), simmr.BranchSetConfig{
+	bcfg := simmr.BranchSetConfig{
 		Config:        cfg,
 		Trace:         tr,
 		PolicyFactory: func() simmr.Policy { p, _ := mkPolicy(); return p },
 		BranchEvents:  branchEvents,
 		Workers:       *workers,
 		Telemetry:     tel,
-	}, branches)
+	}
+	if tel != nil {
+		// Surface the fan-out on the debug server's ops plane: /runs
+		// shows phases prefix -> branches, each branch carrying a
+		// forked flight recorder.
+		bcfg.Runs = simmr.DefaultRuns()
+		bcfg.Flight = -1
+	}
+	stopRun := tel.Span("run")
+	results, err := simmr.BranchSet(context.Background(), bcfg, branches)
 	stopRun()
 	if err != nil {
 		return err

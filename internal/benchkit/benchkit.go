@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"testing"
 
+	"simmr/internal/obs"
 	"simmr/internal/sched"
 	"simmr/internal/synth"
 	"simmr/pkg/simmr"
@@ -61,6 +62,33 @@ func Replay(b *testing.B) {
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := pool.Run(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// FlightReplay is Replay with a flight recorder attached — the ops
+// plane's always-on post-mortem capture. The recorder is built once and
+// reused across pooled runs (its documented engine-reuse contract), so
+// after the first iteration every event lands in the preallocated ring
+// and allocs/op must equal the plain pooled replay's: the guard holds
+// this benchmark to the very same alloc bound as Replay, proving the
+// recorder's zero-alloc steady state rather than asserting it.
+func FlightReplay(b *testing.B) {
+	tr := fixture(replayJobs)
+	rec := obs.NewFlightRecorder(0) // 4096-event default ring
+	cfg := simmr.DefaultReplayConfig()
+	cfg.Sink = rec
+	var pool simmr.ReplayPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := pool.Run(cfg, tr, simmr.NewFIFO())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -236,6 +264,15 @@ type Metrics struct {
 	// allocation bound; attribution is pay-when-you-ask by design.
 	AttrEventsPerSec float64 `json:"attr_events_per_sec"`
 
+	// FlightEventsPerSec / FlightAllocsPerOp are replay throughput and
+	// steady-state allocations with a flight recorder attached as the
+	// sink. Unlike attribution, the recorder is meant to fly on every
+	// production run, so the guard holds FlightAllocsPerOp to the same
+	// deterministic bound as the bare replay: the ring write must be
+	// allocation-free.
+	FlightEventsPerSec float64 `json:"flight_events_per_sec"`
+	FlightAllocsPerOp  int64   `json:"flight_allocs_per_op"`
+
 	// The trace-loader pair: full-decode jobs/sec for the columnar
 	// `.strc` store (trace_load_jobs_per_sec) versus the reference JSON
 	// loader (trace_json_load_jobs_per_sec) on the identical 20000-job
@@ -278,6 +315,10 @@ func Collect() Metrics {
 
 	at := testing.Benchmark(Attr)
 	m.AttrEventsPerSec = at.Extra["events/sec"]
+
+	fl := testing.Benchmark(FlightReplay)
+	m.FlightEventsPerSec = fl.Extra["events/sec"]
+	m.FlightAllocsPerOp = fl.AllocsPerOp()
 
 	binLoad := testing.Benchmark(TraceLoadBin)
 	jsonLoad := testing.Benchmark(TraceLoadJSON)

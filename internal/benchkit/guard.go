@@ -87,6 +87,13 @@ type GuardReport struct {
 	// attached, guarded when the baseline records attr_events_per_sec.
 	AttrEventsPerSec float64
 
+	// The flight-recorder smoke: replay with a flight recorder attached,
+	// held to the SAME deterministic allocation bound as the bare replay
+	// (the recorder's zero-alloc steady-state guarantee), guarded when
+	// the baseline records flight_events_per_sec.
+	FlightEventsPerSec float64
+	FlightAllocsPerOp  int64
+
 	// The trace-loader smoke: `.strc` decode vs JSON decode on the same
 	// trace, guarded when the baseline records trace_load_speedup.
 	TraceLoadJobsPerSec float64
@@ -201,6 +208,22 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 			rep.AttrEventsPerSec, base.AttrEventsPerSec)
 	}
 
+	// Flight-recorder smoke: rerun the replay with a flight recorder
+	// attached and hold it to the SAME allocation limit as the bare
+	// replay — not a separate baseline. The recorder's whole contract is
+	// that the always-on capture is free (ring writes into preallocated
+	// storage); if attaching it costs even a handful of allocs per
+	// replay, that contract broke, regardless of what an inflated
+	// flight-specific baseline might have absorbed. Skipped against
+	// baselines that predate the flight benchmark.
+	if base.FlightEventsPerSec > 0 {
+		fb := testing.Benchmark(FlightReplay)
+		rep.FlightAllocsPerOp = fb.AllocsPerOp()
+		rep.FlightEventsPerSec = fb.Extra["events/sec"]
+		rep.Summary += fmt.Sprintf("; flight allocs/op %d (replay limit %d), %.0f events/sec (baseline %.0f)",
+			rep.FlightAllocsPerOp, allocLimit, rep.FlightEventsPerSec, base.FlightEventsPerSec)
+	}
+
 	// Trace-loader smoke: when the baseline records a load speedup,
 	// rerun the `.strc` and JSON loaders on the shared fixture and hold
 	// their ratio to the structural floor. A fixed bound, not a fraction
@@ -240,6 +263,14 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	if base.AttrEventsPerSec > 0 && floor > 0 && rep.AttrEventsPerSec < base.AttrEventsPerSec*floor {
 		return rep, fmt.Errorf("benchkit: attributed replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
 			rep.AttrEventsPerSec, base.AttrEventsPerSec, floor)
+	}
+	if base.FlightEventsPerSec > 0 && rep.FlightAllocsPerOp > allocLimit {
+		return rep, fmt.Errorf("benchkit: flight recorder lost its zero-alloc steady state: %d allocs/op vs bare-replay limit %d",
+			rep.FlightAllocsPerOp, allocLimit)
+	}
+	if base.FlightEventsPerSec > 0 && floor > 0 && rep.FlightEventsPerSec < base.FlightEventsPerSec*floor {
+		return rep, fmt.Errorf("benchkit: flight-recorded replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
+			rep.FlightEventsPerSec, base.FlightEventsPerSec, floor)
 	}
 	if base.TraceLoadSpeedup > 0 && rep.TraceLoadSpeedup < TraceLoadSpeedupFloor {
 		return rep, fmt.Errorf("benchkit: packed trace loader lost its advantage over JSON: %.1fx vs floor %.0fx (baseline %.1fx)",

@@ -14,6 +14,11 @@ type HistoryRecord struct {
 	Time string `json:"time"` // RFC 3339 UTC
 	Mode string `json:"mode"` // "bench" (baseline rewrite) or "guard"
 	Pass bool   `json:"pass"`
+	// Version is the buildinfo version of the binary that produced the
+	// record ("dev" outside stamped builds); `benchreport -watch` uses
+	// it to name the commit range a regression entered in. Empty on
+	// records predating version stamping.
+	Version string `json:"version,omitempty"`
 
 	EventsPerSec float64 `json:"events_per_sec"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
@@ -33,6 +38,12 @@ type HistoryRecord struct {
 	// Replay with the causal attribution sink attached; zero on runs
 	// predating the attribution benchmark.
 	AttrEventsPerSec float64 `json:"attr_events_per_sec,omitempty"`
+
+	// Replay with a flight recorder attached — the always-on ops-plane
+	// capture, which must cost zero extra allocations. Zero on runs
+	// predating the flight benchmark.
+	FlightEventsPerSec float64 `json:"flight_events_per_sec,omitempty"`
+	FlightAllocsPerOp  int64   `json:"flight_allocs_per_op,omitempty"`
 
 	// Columnar `.strc` trace loader vs the JSON reference loader; zero
 	// on runs predating the binary trace store.

@@ -10,6 +10,10 @@
 //	/debug/vars         expvar JSON, including simmr.metrics (the same
 //	                    registry merged into the legacy snapshot shape)
 //	/debug/pprof/...    net/http/pprof profiles
+//	/healthz            uniform liveness probe across all binaries
+//	/buildinfo          version and Go runtime JSON
+//	/runs...            the live ops plane: run snapshots, SSE progress
+//	                    streams, and flight-recorder dumps (see runs.go)
 //
 // The returned registry must be wired into the run (Config.Sink via
 // EngineSink, SweepConfig.Telemetry, or explicit Span calls); it is
@@ -52,11 +56,13 @@ func start(component, addr string) (*telemetry.SimMetrics, string, error) {
 	tel.StampBuildInfo(buildinfo.Version)
 	expvar.Publish("simmr.metrics", expvar.Func(tel.ExpvarValue))
 	http.Handle("/metrics", telemetry.Handler(tel.Registry()))
+	registerOps(http.DefaultServeMux)
+	registerRunMetrics(tel.Registry())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("debug server: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: debug endpoint at http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", component, ln.Addr())
+	fmt.Fprintf(os.Stderr, "%s: debug endpoint at http://%s/metrics (runs at /runs, expvar at /debug/vars, pprof at /debug/pprof/)\n", component, ln.Addr())
 	go func() {
 		// The server lives as long as the process; errors after a clean
 		// exit are expected and ignored.

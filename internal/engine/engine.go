@@ -269,10 +269,12 @@ type Engine struct {
 	// sink mirrors cfg.Sink; every emission is guarded by a nil check
 	// so the disabled path stays allocation- and branch-cheap.
 	sink obs.Sink
-	// depth is cfg.Sink's DepthSampler side, resolved once at Reset so
-	// step() pays one cached-field nil check instead of a per-step type
-	// assertion; depthTick counts macro-steps between samples.
+	// depth and prog are cfg.Sink's DepthSampler / ProgressSampler
+	// sides, resolved once at Reset so step() pays cached-field nil
+	// checks instead of per-step type assertions; depthTick counts
+	// macro-steps between samples (one cadence for both).
 	depth     obs.DepthSampler
+	prog      obs.ProgressSampler
 	depthTick uint32
 	// Run-level observability counters, maintained unconditionally
 	// (plain increments on cold paths) and delivered via sink.RunEnd.
@@ -319,6 +321,7 @@ func (e *Engine) Reset(cfg Config, tr *trace.Trace, policy sched.Policy) error {
 	e.policy = policy
 	e.sink = cfg.Sink
 	e.depth, _ = cfg.Sink.(obs.DepthSampler)
+	e.prog, _ = cfg.Sink.(obs.ProgressSampler)
 	e.depthTick = 0
 	e.clock.Reset()
 	e.q.Reset()
@@ -577,10 +580,15 @@ func (e *Engine) step() error {
 		e.q.Free(ev)
 	}
 	e.allocate()
-	if e.depth != nil {
+	if e.depth != nil || e.prog != nil {
 		if e.depthTick++; e.depthTick >= depthSampleEvery {
 			e.depthTick = 0
-			e.depth.SampleDepth(e.clock.Now(), e.q.Len())
+			if e.depth != nil {
+				e.depth.SampleDepth(e.clock.Now(), e.q.Len())
+			}
+			if e.prog != nil {
+				e.prog.SampleProgress(e.clock.Now(), e.q.Fired(), len(e.jobs)-e.remaining, len(e.jobs))
+			}
 		}
 	}
 	return nil

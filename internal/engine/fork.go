@@ -240,6 +240,7 @@ func (s *Snapshot) ForkInto(dst *Engine, opts ForkOptions) error {
 	dst.cfg.Sink = opts.Sink
 	dst.sink = opts.Sink
 	dst.depth, _ = opts.Sink.(obs.DepthSampler)
+	dst.prog, _ = opts.Sink.(obs.ProgressSampler)
 	dst.depthTick = 0
 	dst.policy = policy
 	dst.clock = src.clock

@@ -169,6 +169,18 @@ type DepthSampler interface {
 	SampleDepth(now float64, depth int)
 }
 
+// ProgressSampler is an optional Sink extension: the engine
+// periodically (on the same macro-step cadence as DepthSampler)
+// reports replay progress — simulated time, events handled so far, and
+// jobs departed out of the total — to sinks that implement it. This is
+// the run registry's intra-replay progress feed: a single long replay
+// surfaces live percent-complete without any per-event work. Like
+// Event, SampleProgress is called from the engine's single goroutine.
+type ProgressSampler interface {
+	// SampleProgress reports replay progress at simulated time now.
+	SampleProgress(now float64, events uint64, jobsDone, jobsTotal int)
+}
+
 // teeSink fans one engine's stream out to several sinks in order.
 type teeSink struct{ sinks []Sink }
 
@@ -198,9 +210,37 @@ func (t depthTeeSink) SampleDepth(now float64, depth int) {
 	}
 }
 
+// progressTeeSink is the tee variant for members that sample progress
+// but not depth; like depthTeeSink it exists so a progress-blind tee
+// doesn't satisfy ProgressSampler vacuously.
+type progressTeeSink struct {
+	teeSink
+	progress []ProgressSampler
+}
+
+func (t progressTeeSink) SampleProgress(now float64, events uint64, jobsDone, jobsTotal int) {
+	for _, s := range t.progress {
+		s.SampleProgress(now, events, jobsDone, jobsTotal)
+	}
+}
+
+// fullTeeSink samples both depth and progress.
+type fullTeeSink struct {
+	depthTeeSink
+	progress []ProgressSampler
+}
+
+func (t fullTeeSink) SampleProgress(now float64, events uint64, jobsDone, jobsTotal int) {
+	for _, s := range t.progress {
+		s.SampleProgress(now, events, jobsDone, jobsTotal)
+	}
+}
+
 // Tee combines sinks into one that forwards every event and RunEnd to
 // each, in argument order. Nil sinks are skipped; Tee() returns nil.
-// If any member implements DepthSampler, so does the combined sink.
+// If any member implements DepthSampler or ProgressSampler, so does
+// the combined sink — the samplers are resolved once here, not per
+// call.
 func Tee(sinks ...Sink) Sink {
 	live := make([]Sink, 0, len(sinks))
 	for _, s := range sinks {
@@ -215,13 +255,23 @@ func Tee(sinks ...Sink) Sink {
 		return live[0]
 	}
 	var samplers []DepthSampler
+	var progress []ProgressSampler
 	for _, s := range live {
 		if ds, ok := s.(DepthSampler); ok {
 			samplers = append(samplers, ds)
 		}
+		if ps, ok := s.(ProgressSampler); ok {
+			progress = append(progress, ps)
+		}
 	}
-	if len(samplers) > 0 {
-		return depthTeeSink{teeSink{sinks: live}, samplers}
+	tee := teeSink{sinks: live}
+	switch {
+	case len(samplers) > 0 && len(progress) > 0:
+		return fullTeeSink{depthTeeSink{tee, samplers}, progress}
+	case len(samplers) > 0:
+		return depthTeeSink{tee, samplers}
+	case len(progress) > 0:
+		return progressTeeSink{tee, progress}
 	}
-	return teeSink{sinks: live}
+	return tee
 }

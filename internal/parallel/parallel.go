@@ -18,7 +18,9 @@
 //     MinProgressInterval (plus one final call), claimed via a single
 //     compare-and-swap — workers that lose the claim proceed
 //     immediately, so progress reporting never serializes the pool no
-//     matter how slow the callback is.
+//     matter how slow the callback is. The rate-window election is
+//     exported as Ticker for other bounded publishers (the run
+//     registry's SSE delta pusher reuses it).
 //
 // Simulation runs share immutable inputs (traces, templates, pools of
 // profiled jobs) read-only; all mutable state lives inside each run's
@@ -38,13 +40,18 @@ import (
 // Guarantees (see MapProgress):
 //
 //   - Calls are rate-bounded: successive invocations are at least
-//     MinProgressInterval apart, except the final (total, total) call,
-//     which is always delivered exactly once after the last task.
+//     MinProgressInterval apart, except the final call, which is always
+//     delivered exactly once after the pool stops — (total, total) on
+//     success, (done, total) with done < total when the run failed or
+//     was canceled, so a renderer can terminate an in-place progress
+//     line either way.
 //   - Calls are delivered from worker goroutines; with workers > 1 two
 //     rate windows can overlap (a slow callback does not delay the
 //     next window's claim), so implementations must be safe for
 //     concurrent invocation and tolerate out-of-order done values —
-//     render max(done) seen, not the latest argument.
+//     render max(done) seen, not the latest argument. The final call of
+//     a failed run is the exception: it arrives after every worker has
+//     stopped, with no concurrent siblings.
 //   - The pool never blocks on the callback: a worker that isn't the
 //     one elected to report continues to its next task untouched.
 type ProgressFunc func(done, total int)
@@ -55,24 +62,60 @@ type ProgressFunc func(done, total int)
 // O(runtime/MinProgressInterval) times, not O(T).
 const MinProgressInterval = 100 * time.Millisecond
 
+// Ticker is the lock-free rate-window election behind MapProgress's
+// bounded reporting, exported so other bounded publishers (the run
+// registry's SSE delta pusher, flight-recorder trigger polling) share
+// one mechanism. Any number of goroutines call Try; within each
+// interval-wide window exactly one of them wins a single
+// compare-and-swap and is elected to publish, and the losers return
+// immediately without blocking or spinning. The zero value is not
+// usable; a nil Ticker never elects.
+type Ticker struct {
+	interval int64
+	last     atomic.Int64 // wall nanos of the last claimed window
+}
+
+// NewTicker returns a Ticker whose first election lands one full
+// interval after creation: the window opening at "now" is pre-claimed,
+// so an instantly-completing first task does not publish a frame.
+func NewTicker(interval time.Duration) *Ticker {
+	t := &Ticker{interval: int64(interval)}
+	t.last.Store(time.Now().UnixNano())
+	return t
+}
+
+// Try reports whether the caller won the current rate window. At most
+// one caller per interval wins; everyone else gets false without
+// waiting.
+func (t *Ticker) Try() bool {
+	if t == nil {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := t.last.Load()
+	if now-last < t.interval {
+		return false
+	}
+	// One CAS elects a single reporter per window; losers fall through
+	// without blocking.
+	return t.last.CompareAndSwap(last, now)
+}
+
 // progress is the rate-bounded completion counter shared by the
 // workers of one Map call.
 type progress struct {
-	fn    ProgressFunc
-	total int
-	done  atomic.Int64
-	last  atomic.Int64 // wall nanos of the last claimed callback window
+	fn     ProgressFunc
+	total  int
+	done   atomic.Int64
+	final  atomic.Bool // the guaranteed last call has been delivered
+	ticker *Ticker
 }
 
 func newProgress(fn ProgressFunc, total int) *progress {
 	if fn == nil {
 		return nil
 	}
-	p := &progress{fn: fn, total: total}
-	// Claim the start of the run so the first callback lands after one
-	// full interval rather than on the first (instant) completion.
-	p.last.Store(time.Now().UnixNano())
-	return p
+	return &progress{fn: fn, total: total, ticker: NewTicker(MinProgressInterval)}
 }
 
 // tick records one completed task and invokes the callback if this
@@ -84,18 +127,26 @@ func (p *progress) tick() {
 	}
 	d := int(p.done.Add(1))
 	if d >= p.total {
-		p.fn(d, p.total)
+		if p.final.CompareAndSwap(false, true) {
+			p.fn(d, p.total)
+		}
 		return
 	}
-	now := time.Now().UnixNano()
-	last := p.last.Load()
-	if now-last < int64(MinProgressInterval) {
+	if p.ticker.Try() {
+		p.fn(d, p.total)
+	}
+}
+
+// abort delivers the guaranteed final call for a run that failed or was
+// canceled before completing: exactly once, with the completed count
+// (done < total). Callers invoke it only after every worker has
+// stopped, so unlike tick it never races a sibling callback.
+func (p *progress) abort() {
+	if p == nil {
 		return
 	}
-	// One CAS elects a single reporter per window; losers fall through
-	// without blocking.
-	if p.last.CompareAndSwap(last, now) {
-		p.fn(d, p.total)
+	if p.final.CompareAndSwap(false, true) {
+		p.fn(int(p.done.Load()), p.total)
 	}
 }
 
@@ -129,26 +180,30 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 // MapProgress is Map with completion reporting: after each successful
 // task, progress (when non-nil) may be invoked with the number of
 // completed tasks, rate-bounded to one call per MinProgressInterval
-// plus a guaranteed final (n, n) call — see ProgressFunc for the
-// delivery contract. No progress is reported for a failed run.
+// plus a guaranteed final call — (n, n) on success, (done, n) with
+// done < n when the run fails or is canceled — see ProgressFunc for
+// the delivery contract.
 func MapProgress[T any](ctx context.Context, workers, n int, progressFn ProgressFunc, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
+	prog := newProgress(progressFn, n)
 	if err := ctx.Err(); err != nil {
+		prog.abort()
 		return nil, err
 	}
 	out := make([]T, n)
 	workers = Workers(workers, n)
-	prog := newProgress(progressFn, n)
 	if workers == 1 {
 		// Serial fast path: identical semantics, no goroutine overhead.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				prog.abort()
 				return nil, err
 			}
 			v, err := fn(ctx, i)
 			if err != nil {
+				prog.abort()
 				return nil, err
 			}
 			out[i] = v
@@ -190,11 +245,13 @@ func MapProgress[T any](ctx context.Context, workers, n int, progressFn Progress
 	wg.Wait()
 
 	if err := firstError(errs); err != nil {
+		prog.abort()
 		return nil, err
 	}
 	// The parent context may have been canceled with no task reporting it
 	// (workers observe cctx before claiming an index).
 	if err := ctx.Err(); err != nil {
+		prog.abort()
 		return nil, err
 	}
 	return out, nil

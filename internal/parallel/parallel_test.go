@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -156,5 +157,100 @@ func TestWorkers(t *testing.T) {
 	}
 	if w := Workers(3, 100); w != 3 {
 		t.Fatalf("Workers(3,100) = %d", w)
+	}
+}
+
+func TestMapProgressFinalOnSuccess(t *testing.T) {
+	var finals atomic.Int64
+	var last atomic.Int64
+	_, err := MapProgress(context.Background(), 4, 50, func(done, total int) {
+		if done >= total {
+			finals.Add(1)
+		}
+		last.Store(int64(done))
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finals.Load() != 1 {
+		t.Fatalf("final (total,total) calls = %d, want exactly 1", finals.Load())
+	}
+	if last.Load() != 50 {
+		t.Fatalf("last reported done = %d, want 50", last.Load())
+	}
+}
+
+func TestMapProgressFinalOnFailure(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		var lastDone, lastTotal atomic.Int64
+		boom := errors.New("boom")
+		_, err := MapProgress(context.Background(), workers, 40, func(done, total int) {
+			calls.Add(1)
+			lastDone.Store(int64(done))
+			lastTotal.Store(int64(total))
+		}, func(_ context.Context, i int) (int, error) {
+			if i == 20 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if calls.Load() == 0 {
+			t.Fatalf("workers=%d: no final progress call on failed run", workers)
+		}
+		if got := int(lastDone.Load()); got >= 40 {
+			t.Fatalf("workers=%d: aborted final reported done = %d, want < total", workers, got)
+		}
+		if lastTotal.Load() != 40 {
+			t.Fatalf("workers=%d: total = %d", workers, lastTotal.Load())
+		}
+	}
+}
+
+func TestMapProgressFinalOnPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := MapProgress(ctx, 1, 10, func(done, total int) {
+		calls.Add(1)
+		if done != 0 || total != 10 {
+			t.Errorf("final call = (%d, %d), want (0, 10)", done, total)
+		}
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("final calls = %d, want exactly 1", calls.Load())
+	}
+}
+
+func TestTickerElectsOnePerWindow(t *testing.T) {
+	tk := NewTicker(time.Hour)
+	if tk.Try() {
+		t.Fatal("first window should be pre-claimed at creation")
+	}
+	tk = NewTicker(0)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tk.Try() {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() < 1 {
+		t.Fatal("zero-interval ticker never elected")
+	}
+	var nilTicker *Ticker
+	if nilTicker.Try() {
+		t.Fatal("nil ticker elected")
 	}
 }

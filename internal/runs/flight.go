@@ -1,0 +1,82 @@
+package runs
+
+import "simmr/internal/obs"
+
+// Flight-recorder attachment: a run may carry any number of
+// obs.FlightRecorders (one per engine — a sweep attaches one per cell
+// worker) plus explicit post-mortem dumps its wrapper captured
+// (deadline misses, errors). `GET /runs/{id}/flight` serves the
+// collected dumps; `POST /runs/{id}/flight` triggers live captures.
+
+// AttachFlight registers a recorder with the run. Safe for concurrent
+// use — sweep workers attach from their own goroutines. The recorder's
+// owner keeps feeding it; the run only ever reads published dumps.
+func (h *Handle) AttachFlight(f *obs.FlightRecorder) {
+	if h == nil || f == nil {
+		return
+	}
+	h.flightMu.Lock()
+	h.flights = append(h.flights, f)
+	h.flightMu.Unlock()
+}
+
+// AddFlightDump stores a captured dump with the run, bounded to the
+// last maxFlightDumps (oldest evicted).
+func (h *Handle) AddFlightDump(d *obs.FlightDump) {
+	if h == nil || d == nil {
+		return
+	}
+	h.flightMu.Lock()
+	h.dumps = append(h.dumps, d)
+	if len(h.dumps) > maxFlightDumps {
+		n := copy(h.dumps, h.dumps[len(h.dumps)-maxFlightDumps:])
+		h.dumps = h.dumps[:n]
+	}
+	h.flightMu.Unlock()
+}
+
+// TriggerFlight requests a live capture from every attached recorder;
+// each publishes at its next poll point. Returns how many recorders
+// were signaled.
+func (h *Handle) TriggerFlight() int {
+	if h == nil {
+		return 0
+	}
+	h.flightMu.Lock()
+	defer h.flightMu.Unlock()
+	for _, f := range h.flights {
+		f.Trigger()
+	}
+	return len(h.flights)
+}
+
+// FlightDumps returns the run's available post-mortems: explicitly
+// stored dumps first (oldest to newest), then each attached recorder's
+// latest published capture. A capture that was both stored and is still
+// a recorder's latest appears once (same immutable dump either way).
+func (h *Handle) FlightDumps() []*obs.FlightDump {
+	if h == nil {
+		return nil
+	}
+	h.flightMu.Lock()
+	defer h.flightMu.Unlock()
+	out := make([]*obs.FlightDump, 0, len(h.dumps)+len(h.flights))
+	out = append(out, h.dumps...)
+	for _, f := range h.flights {
+		d := f.Latest()
+		if d == nil {
+			continue
+		}
+		stored := false
+		for _, s := range h.dumps {
+			if s == d {
+				stored = true
+				break
+			}
+		}
+		if !stored {
+			out = append(out, d)
+		}
+	}
+	return out
+}

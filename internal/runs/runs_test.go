@@ -1,0 +1,261 @@
+package runs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simmr/internal/obs"
+)
+
+func TestBeginSnapshotEnd(t *testing.T) {
+	r := New(4)
+	h := r.Begin(Meta{Kind: KindSweep, Trace: "fb2009", TraceHash: "abcd", Policy: "minedf", Config: "16x16"})
+	if len(h.ID()) != 26 {
+		t.Fatalf("id = %q, want 26-char ULID", h.ID())
+	}
+	if r.Active() != 1 || r.Started(KindSweep) != 1 {
+		t.Fatalf("active=%d started=%d", r.Active(), r.Started(KindSweep))
+	}
+	h.SetPhase("replay")
+	h.Progress(3, 10)
+	h.AddEvents(500)
+	h.AddJobs(7)
+	s := h.Snapshot()
+	if s.Kind != KindSweep || s.Phase != "replay" || s.Done != 3 || s.Total != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Progress < 0.29 || s.Progress > 0.31 {
+		t.Fatalf("progress = %v", s.Progress)
+	}
+	if s.Outcome != OutcomeRunning || !s.End.IsZero() {
+		t.Fatalf("live snapshot has outcome %q end %v", s.Outcome, s.End)
+	}
+
+	h.End(nil)
+	h.End(errors.New("second End must not win"))
+	s = h.Snapshot()
+	if s.Outcome != OutcomeOK || s.Error != "" {
+		t.Fatalf("ended snapshot = %+v", s)
+	}
+	if r.Active() != 0 {
+		t.Fatalf("active after end = %d", r.Active())
+	}
+	if got := r.Get(h.ID()); got != h {
+		t.Fatal("completed run not resolvable by ID")
+	}
+}
+
+func TestOutcomes(t *testing.T) {
+	r := New(4)
+	he := r.Begin(Meta{Kind: KindReplay})
+	he.End(errors.New("policy exploded"))
+	if s := he.Snapshot(); s.Outcome != OutcomeError || s.Error != "policy exploded" {
+		t.Fatalf("error outcome = %+v", s)
+	}
+	hc := r.Begin(Meta{Kind: KindReplay})
+	hc.End(errors.New("context canceled"))
+	if s := hc.Snapshot(); s.Outcome != OutcomeCanceled {
+		t.Fatalf("canceled outcome = %+v", s)
+	}
+}
+
+func TestRecentRingBounded(t *testing.T) {
+	r := New(3)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		h := r.Begin(Meta{Kind: KindBatch})
+		ids = append(ids, h.ID())
+		h.End(nil)
+	}
+	list := r.List()
+	if len(list) != 3 {
+		t.Fatalf("retained %d completed runs, want 3", len(list))
+	}
+	// Newest first.
+	if list[0].ID != ids[9] || list[2].ID != ids[7] {
+		t.Fatalf("ring order: %v %v %v, want %v..%v", list[0].ID, list[1].ID, list[2].ID, ids[9], ids[7])
+	}
+	if r.Get(ids[0]) != nil {
+		t.Fatal("evicted run still resolvable")
+	}
+}
+
+func TestGetPrefixAndLatest(t *testing.T) {
+	r := New(8)
+	h1 := r.Begin(Meta{Kind: KindReplay})
+	time.Sleep(2 * time.Millisecond) // distinct start ordering
+	h2 := r.Begin(Meta{Kind: KindBranch})
+	if r.Latest() != h2 {
+		t.Fatal("Latest should prefer the newest live run")
+	}
+	if r.Get("latest") != h2 || r.Get("") != h2 {
+		t.Fatal(`Get("latest") mismatch`)
+	}
+	// A unique prefix resolves; an ambiguous one doesn't. The two IDs
+	// share a millisecond-timestamp prefix, so use a long unique one.
+	long := h1.ID()[:20]
+	if got := r.Get(long); got != h1 && h2.ID()[:20] != long {
+		t.Fatalf("prefix lookup failed: %v", got)
+	}
+	if r.Get("zzz") != nil {
+		t.Fatal("short prefix must not resolve")
+	}
+	h2.End(nil)
+	h1.End(nil)
+	if r.Latest() != h1 {
+		t.Fatal("Latest should fall back to most recently completed")
+	}
+}
+
+func TestSubscribeStream(t *testing.T) {
+	r := New(4)
+	h := r.Begin(Meta{Kind: KindSweep})
+	ch, cancel := h.Subscribe()
+	defer cancel()
+
+	first := <-ch
+	if first.Outcome != OutcomeRunning {
+		t.Fatalf("first frame = %+v", first)
+	}
+	h.SetPhase("replay") // forced frame
+	got := <-ch
+	if got.Phase != "replay" {
+		t.Fatalf("phase frame = %+v", got)
+	}
+	h.End(nil)
+	var final Snapshot
+	ok := false
+	for s := range ch {
+		final, ok = s, true
+	}
+	if !ok || final.Outcome != OutcomeOK {
+		t.Fatalf("final frame = %+v ok=%v", final, ok)
+	}
+
+	// Subscribing after the end yields the final frame then close.
+	ch2, cancel2 := h.Subscribe()
+	defer cancel2()
+	s, open := <-ch2
+	if !open || s.Outcome != OutcomeOK {
+		t.Fatalf("post-end subscribe frame = %+v open=%v", s, open)
+	}
+	if _, open := <-ch2; open {
+		t.Fatal("post-end channel not closed")
+	}
+}
+
+func TestSubscribeCancelRace(t *testing.T) {
+	r := New(4)
+	h := r.Begin(Meta{Kind: KindSweep})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := h.Subscribe()
+			for range ch {
+			}
+			cancel()
+			cancel() // idempotent after close
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		h.Progress(i, 100)
+	}
+	h.End(nil)
+	wg.Wait()
+}
+
+func TestNilHandleInert(t *testing.T) {
+	var h *Handle
+	h.SetPhase("x")
+	h.Progress(1, 2)
+	h.AddEvents(1)
+	h.AddJobs(1)
+	h.End(nil)
+	h.AttachFlight(nil)
+	h.AddFlightDump(nil)
+	if h.TriggerFlight() != 0 || h.FlightDumps() != nil || h.ID() != "" || h.Running() {
+		t.Fatal("nil handle not inert")
+	}
+	var r *Registry
+	if r.Begin(Meta{}) != nil || r.Active() != 0 || r.List() != nil || r.Get("x") != nil {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+func TestFlightAttachment(t *testing.T) {
+	r := New(4)
+	h := r.Begin(Meta{Kind: KindReplay})
+	f := obs.NewFlightRecorder(64)
+	h.AttachFlight(f)
+	if n := h.TriggerFlight(); n != 1 {
+		t.Fatalf("TriggerFlight = %d", n)
+	}
+	// The owner's next poll serves the trigger.
+	for i := 0; i < 600; i++ {
+		f.Event(obs.Event{Time: float64(i), Kind: obs.KindJobArrival, JobID: i, Task: -1})
+	}
+	dumps := h.FlightDumps()
+	if len(dumps) != 1 || dumps[0].Trigger != "trigger" {
+		t.Fatalf("dumps = %v", dumps)
+	}
+	// Storing a new capture makes it both the stored dump and the
+	// recorder's latest — it must appear once, not twice.
+	h.AddFlightDump(f.Dump("deadline-miss"))
+	if s := h.Snapshot(); s.FlightDumps != 1 {
+		t.Fatalf("snapshot flight count = %d, want 1 deduped", s.FlightDumps)
+	}
+	// Bounded retention; the final stored dump is also the latest.
+	for i := 0; i < 2*maxFlightDumps; i++ {
+		h.AddFlightDump(f.Dump(fmt.Sprintf("manual-%d", i)))
+	}
+	if got := len(h.FlightDumps()); got != maxFlightDumps {
+		t.Fatalf("retained %d dumps, want %d", got, maxFlightDumps)
+	}
+}
+
+func TestEngineHook(t *testing.T) {
+	r := New(4)
+	h := r.Begin(Meta{Kind: KindReplay})
+	sink := h.EngineHook()
+	ps := sink.(obs.ProgressSampler)
+	ps.SampleProgress(10, 1000, 20, 100)
+	s := h.Snapshot()
+	if s.Done != 20 || s.Total != 100 || s.Events != 1000 {
+		t.Fatalf("after sample: %+v", s)
+	}
+	ps.SampleProgress(20, 1500, 40, 100)
+	if s = h.Snapshot(); s.Events != 1500 {
+		t.Fatalf("cumulative events = %d, want 1500", s.Events)
+	}
+	sink.RunEnd(obs.Counters{Events: 2000, Jobs: 100})
+	s = h.Snapshot()
+	if s.Events != 2000 || s.Jobs != 100 || s.Done != 100 {
+		t.Fatalf("after RunEnd: %+v", s)
+	}
+	// Pooled reuse: the next run's samples restart from zero.
+	ps.SampleProgress(5, 300, 10, 100)
+	if s = h.Snapshot(); s.Events != 2300 {
+		t.Fatalf("second run events = %d, want 2300", s.Events)
+	}
+}
+
+func TestIDsSortable(t *testing.T) {
+	r := New(4)
+	a := r.Begin(Meta{Kind: KindReplay})
+	time.Sleep(3 * time.Millisecond)
+	b := r.Begin(Meta{Kind: KindReplay})
+	if !(strings.Compare(a.ID(), b.ID()) < 0) {
+		t.Fatalf("IDs not time-ordered: %s !< %s", a.ID(), b.ID())
+	}
+	for _, c := range a.ID() {
+		if !strings.ContainsRune(crockford, c) {
+			t.Fatalf("ID %q contains non-crockford char %q", a.ID(), c)
+		}
+	}
+}

@@ -34,7 +34,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case counterKind:
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, braced(c.labels), c.ctr.Value())
 			case gaugeKind:
-				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(c.labels), fmtFloat(c.mg.Value()))
+				v := 0.0
+				if c.fn != nil {
+					v = c.fn()
+				} else {
+					v = c.mg.Value()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(c.labels), fmtFloat(v))
 			case histogramKind:
 				writeHistogram(bw, f.name, c.labels, c.h)
 			}

@@ -89,12 +89,14 @@ func (k metricKind) String() string {
 }
 
 // child is one labeled instance inside a family; exactly one of the
-// metric pointers is set, matching the family kind.
+// metric pointers (or fn, for scrape-evaluated gauges) is set,
+// matching the family kind.
 type child struct {
 	labels string // pre-rendered `k="v"` pairs, "" for unlabeled
 	ctr    *Counter
 	mg     *MaxGauge
 	h      *Histogram
+	fn     func() float64
 }
 
 // family is one exposition unit: a metric name with HELP/TYPE emitted
@@ -196,6 +198,31 @@ func (r *Registry) NewMaxGaugeLabeled(name, help string, labels [][2]string) *Ma
 	r.register(&family{name: name, help: help, kind: gaugeKind,
 		children: []child{{labels: strings.Join(parts, ","), mg: g}}})
 	return g
+}
+
+// NewFuncGauge registers a gauge whose value is computed at scrape
+// time by fn — the shape for state that already lives elsewhere under
+// its own synchronization (the run registry's live count) and would be
+// stale or double-tracked as a written gauge. fn must be safe for
+// concurrent calls and fast: it runs on every scrape.
+func (r *Registry) NewFuncGauge(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: gaugeKind,
+		children: []child{{fn: fn}}})
+}
+
+// NewFuncGaugeVec registers one scrape-evaluated gauge per label value
+// under a shared family name; fn receives the value's index in
+// `values` order.
+func (r *Registry) NewFuncGaugeVec(name, help, label string, values []string, fn func(i int) float64) {
+	f := &family{name: name, help: help, kind: gaugeKind}
+	for i, v := range values {
+		i := i
+		f.children = append(f.children, child{
+			labels: fmt.Sprintf("%s=%q", label, v),
+			fn:     func() float64 { return fn(i) },
+		})
+	}
+	r.register(f)
 }
 
 // Observe raises the shard's cell to v if v is larger. The CAS loop is

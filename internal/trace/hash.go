@@ -1,0 +1,62 @@
+package trace
+
+import "math"
+
+// fnv64 constants (FNV-1a), inlined so hashing needs no hash.Hash64
+// allocation or per-field interface calls.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h fnv64) u64(v uint64) fnv64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ fnv64(v&0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func (h fnv64) f64(v float64) fnv64 { return h.u64(math.Float64bits(v)) }
+
+func (h fnv64) str(s string) fnv64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ fnv64(s[i])) * fnvPrime
+	}
+	return h.u64(uint64(len(s)))
+}
+
+// Hash returns a stable 64-bit identity fingerprint of the trace: the
+// name, every job's (ID, arrival, deadline), and each job's template
+// shape (app, dataset, task counts) plus the boundary durations of its
+// duration vectors. It is the run registry's trace identity — two
+// loads of the same trace file hash equal, and edits to arrival times,
+// deadlines, task counts, or endpoints of the duration profile change
+// it. It deliberately skips the interior of the per-task duration
+// vectors so fingerprinting a memory-mapped million-job trace does not
+// fault in every column page; it is not a cryptographic digest (the
+// `.strc` store carries real CRCs for integrity).
+func (t *Trace) Hash() uint64 {
+	h := fnv64(fnvOffset).str(t.Name).u64(uint64(len(t.Jobs)))
+	for _, j := range t.Jobs {
+		h = h.u64(uint64(j.ID)).f64(j.Arrival).f64(j.Deadline)
+		tpl := j.Template
+		if tpl == nil {
+			h = h.u64(0)
+			continue
+		}
+		h = h.str(tpl.AppName).str(tpl.Dataset).
+			u64(uint64(tpl.NumMaps)).u64(uint64(tpl.NumReduces))
+		for _, col := range [][]float64{
+			tpl.MapDurations, tpl.FirstShuffle, tpl.TypicalShuffle, tpl.ReduceDurations,
+		} {
+			h = h.u64(uint64(len(col)))
+			if n := len(col); n > 0 {
+				h = h.f64(col[0]).f64(col[n-1])
+			}
+		}
+	}
+	return uint64(h)
+}

@@ -8,6 +8,7 @@ import (
 	"simmr/internal/engine"
 	"simmr/internal/obs"
 	"simmr/internal/parallel"
+	"simmr/internal/runs"
 	"simmr/internal/sched"
 )
 
@@ -64,6 +65,13 @@ type BatchConfig struct {
 	// lock-free sink shard per spec), per-replay wall time and
 	// events/sec, and the engine pool's reuse hit rate.
 	Telemetry *Telemetry
+	// Runs, when set, registers the batch in the ops-plane run registry
+	// (kind "batch") — see SweepConfig.Runs.
+	Runs *RunRegistry
+	// Flight, when Runs is set, attaches a flight recorder of this ring
+	// size to every spec's engine (-1 selects the default; 0 disables) —
+	// see SweepConfig.Flight.
+	Flight int
 }
 
 // ReplayBatchCfg is the fully configurable batch entry point; the other
@@ -82,7 +90,10 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 		tel.ExpectRuns(len(specs))
 		pool.OnGet = tel.PoolGet
 	}
-	return parallel.MapProgress(ctx, bcfg.Workers, len(specs), bcfg.Progress, func(_ context.Context, i int) (*ReplayResult, error) {
+	run := beginRun(bcfg.Runs, runs.KindBatch, batchTrace(specs), nil,
+		fmt.Sprintf("specs=%d", len(specs)))
+	run.SetPhase("replay")
+	results, err := parallel.MapProgress(ctx, bcfg.Workers, len(specs), run.ProgressFunc(bcfg.Progress), func(_ context.Context, i int) (*ReplayResult, error) {
 		spec := &specs[i]
 		cfg := spec.Config
 		// A spec that only sets an observability sink still gets the
@@ -97,6 +108,10 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 		if policy == nil {
 			policy = sched.FIFO{}
 		}
+		rec, flightDone := runFlight(run, bcfg.Flight, specName(spec))
+		if rec != nil {
+			cfg.Sink = obs.Tee(cfg.Sink, rec)
+		}
 		var start time.Time
 		if tel != nil {
 			// Each spec's telemetry sink writes its own registry shard;
@@ -105,14 +120,35 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 			start = time.Now()
 		}
 		res, err := pool.Run(cfg, spec.Trace, policy)
+		flightDone(res, err)
 		if err != nil {
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(spec), err)
 		}
 		if tel != nil {
 			tel.ReplayDone(time.Since(start), res.Events)
 		}
+		run.AddEvents(res.Events)
+		run.AddJobs(uint64(len(res.Jobs)))
 		return res, nil
 	})
+	run.End(err)
+	return results, err
+}
+
+// batchTrace names a batch's workload for the run registry: the shared
+// trace when every spec replays the same one, nil (anonymous) for a
+// mixed batch.
+func batchTrace(specs []ReplaySpec) *Trace {
+	if len(specs) == 0 {
+		return nil
+	}
+	tr := specs[0].Trace
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Trace != tr {
+			return nil
+		}
+	}
+	return tr
 }
 
 func specName(s *ReplaySpec) string {

@@ -9,6 +9,7 @@ import (
 	"simmr/internal/engine"
 	"simmr/internal/obs"
 	"simmr/internal/parallel"
+	"simmr/internal/runs"
 	"simmr/internal/sched"
 )
 
@@ -80,6 +81,16 @@ type BranchSetConfig struct {
 	// branch's wall time and suffix events/sec (ReplayDone), engine
 	// pool reuse, and every branch's event stream.
 	Telemetry *Telemetry
+	// Runs, when set, registers the fan-out in the ops-plane run
+	// registry (kind "branch", phases "prefix" then "branches") — see
+	// SweepConfig.Runs.
+	Runs *RunRegistry
+	// Flight, when Runs is set, records the shared prefix into a flight
+	// ring of this size and hands each branch its own Fork() of it, so a
+	// branch post-mortem shows the full history — prefix events
+	// included, exactly as that branch's engine inherited them. -1
+	// selects the default size; 0 disables.
+	Flight int
 }
 
 // BranchSet answers K what-if questions for the price of one shared
@@ -120,19 +131,37 @@ func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*
 		ecfg.Sink = obs.Tee(ecfg.Sink, tel.EngineSink())
 	}
 
+	run := beginRun(cfg.Runs, runs.KindBranch, cfg.Trace, cfg.Policy,
+		fmt.Sprintf("branches=%d branch_events=%d", len(branches), cfg.BranchEvents))
+	run.SetPhase("prefix")
+	fail := func(err error) ([]*ReplayResult, error) {
+		run.End(err)
+		return nil, err
+	}
+	// The prefix recorder observes the shared history once; each branch
+	// gets its own Fork() below, continuing from the sealed prefix the
+	// way attribution sinks do.
+	var prefixRec *obs.FlightRecorder
+	if run != nil && cfg.Flight != 0 {
+		prefixRec = obs.NewFlightRecorder(cfg.Flight)
+		ecfg.Sink = obs.Tee(ecfg.Sink, prefixRec)
+	}
+
 	// Shared prefix: one replay to the branch point, sealed.
 	prefix, err := engine.New(ecfg, cfg.Trace, mkPolicy())
 	if err != nil {
-		return nil, fmt.Errorf("simmr: branch set: prefix: %w", err)
+		return fail(fmt.Errorf("simmr: branch set: prefix: %w", err))
 	}
 	if _, err := prefix.RunEvents(cfg.BranchEvents); err != nil {
-		return nil, fmt.Errorf("simmr: branch set: prefix: %w", err)
+		return fail(fmt.Errorf("simmr: branch set: prefix: %w", err))
 	}
 	snap, err := prefix.Snapshot()
 	if err != nil {
-		return nil, fmt.Errorf("simmr: branch set: %w", err)
+		return fail(fmt.Errorf("simmr: branch set: %w", err))
 	}
 	prefixEvents := snap.Events()
+	run.AddEvents(prefixEvents)
+	run.SetPhase("branches")
 
 	var pool engine.Pool
 	if tel != nil {
@@ -140,7 +169,7 @@ func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*
 	}
 	_, sharedPolicy := mkPolicy().(sched.BatchPolicy)
 
-	return parallel.MapProgress(ctx, cfg.Workers, len(branches), cfg.Progress, func(_ context.Context, i int) (*ReplayResult, error) {
+	results, err := parallel.MapProgress(ctx, cfg.Workers, len(branches), run.ProgressFunc(cfg.Progress), func(_ context.Context, i int) (*ReplayResult, error) {
 		b := &branches[i]
 		fail := func(err error) (*ReplayResult, error) {
 			return nil, fmt.Errorf("simmr: branch %d (%s): %w", i, branchName(b, i), err)
@@ -152,6 +181,12 @@ func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*
 		opts := engine.ForkOptions{Sink: bsink}
 		if sharedPolicy {
 			opts.Policy = mkPolicy() // stateful: fresh instance per fork
+		}
+		flightDone := func(*ReplayResult, error) {}
+		if prefixRec != nil {
+			var rec *obs.FlightRecorder
+			rec, flightDone = attachFlight(run, prefixRec.Fork(), branchName(b, i))
+			opts.Sink = obs.Tee(opts.Sink, rec)
 		}
 		var start time.Time
 		if tel != nil {
@@ -190,6 +225,7 @@ func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*
 			}
 		}
 		res, err := f.Run()
+		flightDone(res, err)
 		if err != nil {
 			return fail(err)
 		}
@@ -201,8 +237,14 @@ func BranchSet(ctx context.Context, cfg BranchSetConfig, branches []WhatIf) ([]*
 			tel.ReplayDone(time.Since(start), res.Events-prefixEvents)
 		}
 		pool.Put(f)
+		// Run totals count each branch's own suffix; the shared prefix
+		// was added once, before the fan-out.
+		run.AddEvents(res.Events - prefixEvents)
+		run.AddJobs(uint64(len(res.Jobs)))
 		return res, nil
 	})
+	run.End(err)
+	return results, err
 }
 
 func branchName(b *WhatIf, i int) string {

@@ -1,0 +1,104 @@
+package simmr
+
+import (
+	"fmt"
+
+	"simmr/internal/obs"
+	"simmr/internal/runs"
+)
+
+// Run registry facade: the ops-plane types re-exported so embedders
+// wire live run tracking without importing internal packages, in the
+// same type-alias style as Telemetry and Sink.
+//
+// Pass DefaultRuns() (or a private NewRunRegistry) in SweepConfig.Runs
+// / BatchConfig.Runs / BranchSetConfig.Runs and the entry point
+// registers itself: kind, trace identity, policy and configuration
+// fingerprints, live done/total progress, accumulated engine totals,
+// and the final outcome. The debug server (-debug-addr) serves the
+// default registry at /runs, streams it at /runs/{id}/stream, and
+// exposes flight-recorder dumps at /runs/{id}/flight.
+type (
+	// RunRegistry tracks live runs plus a bounded ring of completed
+	// ones.
+	RunRegistry = runs.Registry
+	// RunHandle is one registered run; see SweepConfig.Runs.
+	RunHandle = runs.Handle
+	// RunSnapshot is the JSON view served by /runs.
+	RunSnapshot = runs.Snapshot
+	// RunMeta is the identity a run registers with.
+	RunMeta = runs.Meta
+	// FlightRecorder is the fixed-ring post-mortem sink (obs package).
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is one immutable flight-recorder capture.
+	FlightDump = obs.FlightDump
+)
+
+// DefaultRuns returns the process-wide run registry — the one the
+// debug server serves.
+func DefaultRuns() *RunRegistry { return runs.Default() }
+
+// NewRunRegistry builds a private registry retaining the last
+// recentCap completed runs (<= 0 selects the default capacity).
+func NewRunRegistry(recentCap int) *RunRegistry { return runs.New(recentCap) }
+
+// NewFlightRecorder builds a recorder retaining the last size events
+// (<= 0 selects the 4096 default). Attach it as (or Tee it into) a
+// replay's Sink; see obs.FlightRecorder for the trigger/dump contract.
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
+// beginRun registers one entry-point invocation with reg (nil reg, nil
+// handle — every Handle method tolerates nil, so call sites stay
+// branch-free). Identity is assembled here: trace name + content hash,
+// policy name when one is statically known, and the caller's config
+// fingerprint.
+func beginRun(reg *runs.Registry, kind runs.Kind, tr *Trace, policy Policy, config string) *runs.Handle {
+	if reg == nil {
+		return nil
+	}
+	meta := runs.Meta{Kind: kind, Config: config}
+	if tr != nil {
+		meta.Trace = tr.Name
+		meta.TraceHash = fmt.Sprintf("%016x", tr.Hash())
+	}
+	if policy != nil {
+		meta.Policy = policy.Name()
+	}
+	return reg.Begin(meta)
+}
+
+// runFlight is the per-engine flight-recorder wiring shared by the
+// sweep, batch, and branch fan-outs: a fresh ring per engine (sinks
+// are single-goroutine), attached to the run for live HTTP triggers.
+// finish inspects the outcome and captures the post-mortems the ops
+// plane promises — "error" on a failed replay, "deadline-miss" when
+// any job blew its deadline — storing them with the run.
+func runFlight(h *runs.Handle, size int, label string) (rec *obs.FlightRecorder, finish func(res *ReplayResult, err error)) {
+	if h == nil || size == 0 {
+		return nil, func(*ReplayResult, error) {}
+	}
+	return attachFlight(h, obs.NewFlightRecorder(size), label)
+}
+
+// attachFlight registers an existing recorder (fresh, or a Fork() of a
+// prefix recorder in a branch fan-out) with the run and returns the
+// outcome-inspecting finish hook.
+func attachFlight(h *runs.Handle, rec *obs.FlightRecorder, label string) (*obs.FlightRecorder, func(res *ReplayResult, err error)) {
+	rec.SetLabel(label)
+	h.AttachFlight(rec)
+	return rec, func(res *ReplayResult, err error) {
+		if err != nil {
+			h.AddFlightDump(rec.Dump("error"))
+			return
+		}
+		if res == nil {
+			return
+		}
+		for i := range res.Jobs {
+			if res.Jobs[i].ExceededDeadline() {
+				h.AddFlightDump(rec.Dump("deadline-miss"))
+				return
+			}
+		}
+	}
+}

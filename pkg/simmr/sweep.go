@@ -9,6 +9,7 @@ import (
 	"simmr/internal/engine"
 	"simmr/internal/obs"
 	"simmr/internal/parallel"
+	"simmr/internal/runs"
 	"simmr/internal/sched"
 )
 
@@ -73,6 +74,16 @@ type SweepConfig struct {
 	// events/sec, and the engine pool's reuse hit rate. Nil costs
 	// nothing — the hot path is never touched.
 	Telemetry *Telemetry
+	// Runs, when set, registers the sweep in the ops-plane run registry
+	// (kind "sweep", live cell progress, accumulated engine totals,
+	// outcome) — pass DefaultRuns() to surface it on the debug server's
+	// /runs endpoints. Nil costs nothing.
+	Runs *RunRegistry
+	// Flight, when Runs is set, attaches a flight recorder of this ring
+	// size to every cell's engine (-1 selects the 4096-event default):
+	// deadline misses and errors capture post-mortems automatically,
+	// and POST /runs/{id}/flight triggers live ones. 0 disables.
+	Flight int
 	// Shards/ShardIndex partition the grid for multi-process execution:
 	// with Shards = N > 1, only cells whose global grid index ≡
 	// ShardIndex (mod N) are replayed, and each process can share one
@@ -171,7 +182,10 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		tel.ExpectRuns(len(sel))
 		pool.OnGet = tel.PoolGet
 	}
-	return parallel.MapProgress(ctx, cfg.Workers, len(sel), cfg.Progress, func(_ context.Context, i int) (SweepPoint, error) {
+	run := beginRun(cfg.Runs, runs.KindSweep, tr, cfg.Policy,
+		fmt.Sprintf("grid=%dx%d shards=%d", len(cfg.MapSlotCounts), rows, max(cfg.Shards, 1)))
+	run.SetPhase("replay")
+	points, err := parallel.MapProgress(ctx, cfg.Workers, len(sel), run.ProgressFunc(cfg.Progress), func(_ context.Context, i int) (SweepPoint, error) {
 		cell := sel[i]
 		c := cells[cell]
 		ecfg := engine.Config{
@@ -182,6 +196,10 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		if cfg.SinkFactory != nil {
 			ecfg.Sink = cfg.SinkFactory(c.m, c.r)
 		}
+		rec, flightDone := runFlight(run, cfg.Flight, fmt.Sprintf("cell-%dx%d", c.m, c.r))
+		if rec != nil {
+			ecfg.Sink = obs.Tee(ecfg.Sink, rec)
+		}
 		var start time.Time
 		if tel != nil {
 			// Each cell's telemetry sink writes its own registry shard;
@@ -190,14 +208,19 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 			start = time.Now()
 		}
 		res, err := pool.Run(ecfg, tr, newPolicy())
+		flightDone(res, err)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("simmr: sweep at %d+%d slots: %w", c.m, c.r, err)
 		}
 		if tel != nil {
 			tel.ReplayDone(time.Since(start), res.Events)
 		}
+		run.AddEvents(res.Events)
+		run.AddJobs(uint64(len(res.Jobs)))
 		return sweepPoint(cell, c, res), nil
 	})
+	run.End(err)
+	return points, err
 }
 
 // sweepPoint condenses one replay into its sweep cell.

@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS  = -ldflags "-X simmr/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: build test verify bench bench-guard bench-guard-ci bench-watch smoke-bigtrace smoke-ops clean
+.PHONY: build test verify bench bench-guard bench-guard-ci bench-watch smoke-bigtrace smoke-ops smoke-cache clean
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -68,6 +68,13 @@ smoke-bigtrace:
 # runs this as the ops-smoke job.
 smoke-ops: build
 	./scripts/ops_smoke.sh
+
+# smoke-cache is the replay-result-cache end-to-end check: the same
+# 1000-job sweep twice against one -cache-dir — the cold pass all
+# misses, the warm pass 100% hits, byte-identical output, and
+# measurably faster. CI runs this as the cache-smoke job.
+smoke-cache: build
+	./scripts/cache_smoke.sh
 
 clean:
 	rm -f BENCH_engine.json

@@ -84,6 +84,9 @@ func main() {
 			FlightAllocsPerOp:    rep.FlightAllocsPerOp,
 			TraceLoadJobsPerSec:  rep.TraceLoadJobsPerSec,
 			TraceLoadSpeedup:     rep.TraceLoadSpeedup,
+			CacheHitJobsPerSec:   rep.CacheHitJobsPerSec,
+			CacheWarmSpeedup:     rep.CacheWarmSpeedup,
+			CacheColdOverheadPct: rep.CacheColdOverheadPct,
 			BaselineEventsPerSec: rep.Baseline.EventsPerSec,
 			BaselineAllocsPerOp:  rep.Baseline.ReplayAllocsPerOp,
 			Floor:                *floor,
@@ -124,21 +127,25 @@ func main() {
 		AttrEventsPerSec:    m.AttrEventsPerSec,
 		FlightEventsPerSec:  m.FlightEventsPerSec,
 		FlightAllocsPerOp:   m.FlightAllocsPerOp,
-		TraceLoadJobsPerSec: m.TraceLoadJobsPerSec,
-		TraceLoadSpeedup:    m.TraceLoadSpeedup,
-		TraceBytesPerJob:    m.TraceBytesPerJob,
+		TraceLoadJobsPerSec:  m.TraceLoadJobsPerSec,
+		TraceLoadSpeedup:     m.TraceLoadSpeedup,
+		TraceBytesPerJob:     m.TraceBytesPerJob,
+		CacheHitJobsPerSec:   m.CacheHitJobsPerSec,
+		CacheWarmSpeedup:     m.CacheWarmSpeedup,
+		CacheColdOverheadPct: m.CacheColdOverheadPct,
 	})
 	sweep := fmt.Sprintf("sweep %.3fs serial / %.3fs at GOMAXPROCS=%d (%.2fx)",
 		m.SweepSerialSeconds, m.SweepParallelSeconds, m.NumCPU, m.SweepSpeedup)
 	if m.SweepSpeedupSkipped {
 		sweep = fmt.Sprintf("sweep %.3fs serial, speedup skipped (single CPU)", m.SweepSerialSeconds)
 	}
-	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, flight %.0f events/sec at %d allocs/op, trace load %.0f jobs/sec (%.1fx over JSON, %.1f B/job), %s\n",
+	fmt.Printf("wrote %s: %.0f events/sec, %d allocs/replay, sched %.0f indexed / %.0f scan events/sec (%.1fx at 1k jobs), fork %.0fns, branch %.0f events/sec (%.1fx vs independent), attr %.0f events/sec, flight %.0f events/sec at %d allocs/op, trace load %.0f jobs/sec (%.1fx over JSON, %.1f B/job), cache %.0f hit jobs/sec (%.0fx warm, %.3f%% cold overhead), %s\n",
 		*out, m.EventsPerSec, m.ReplayAllocsPerOp,
 		m.SchedEventsPerSec, m.SchedScanEventsPerSec, m.SchedSpeedup,
 		m.ForkNsPerOp, m.BranchEventsPerSec, m.BranchSpeedup, m.AttrEventsPerSec,
 		m.FlightEventsPerSec, m.FlightAllocsPerOp,
-		m.TraceLoadJobsPerSec, m.TraceLoadSpeedup, m.TraceBytesPerJob, sweep)
+		m.TraceLoadJobsPerSec, m.TraceLoadSpeedup, m.TraceBytesPerJob,
+		m.CacheHitJobsPerSec, m.CacheWarmSpeedup, m.CacheColdOverheadPct, sweep)
 }
 
 // appendHistory logs one run; a failure to log is a warning, never a

@@ -24,6 +24,7 @@ import (
 
 	"simmr/internal/experiments"
 	"simmr/internal/parallel"
+	"simmr/internal/rcache"
 	"simmr/internal/report"
 	"simmr/internal/telemetry"
 )
@@ -49,6 +50,8 @@ func run() error {
 		table1Exe = flag.Int("table1-executions", 5, "executions per application for Table I (paper: 5)")
 		fig6Jobs  = flag.Int("fig6-jobs", 1148, "production-trace size for Figure 6 (paper: 1148)")
 		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:6060)")
+		cacheDir  = flag.String("cache-dir", "", "replay result cache directory for the Figure 7/8 sweeps; reruns with identical parameters replay nothing")
+		cacheMem  = flag.Int("cache-mem", 0, "replay result cache memory budget in MiB (0 with -cache-dir: 64 MiB default; 0 alone: caching off)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	}
+	var cache *rcache.Cache
+	if *cacheDir != "" || *cacheMem > 0 {
+		opts := rcache.Options{Dir: *cacheDir, MemBytes: int64(*cacheMem) << 20}
+		if tel != nil {
+			opts.Obs = tel
+		}
+		cache = rcache.New(opts)
 	}
 	selected := map[string]bool{}
 	if *only != "" {
@@ -90,6 +101,7 @@ func run() error {
 			cfg.Seed = *seed
 			cfg.Progress = stderrProgress("fig7")
 			cfg.Telemetry = tel
+			cfg.Cache = cache
 			return experiments.Figure7(cfg)
 		}},
 		{"fig8", "figure8_deadlines_facebook.tsv", func() (renderer, error) {
@@ -98,6 +110,7 @@ func run() error {
 			cfg.Seed = *seed
 			cfg.Progress = stderrProgress("fig8")
 			cfg.Telemetry = tel
+			cfg.Cache = cache
 			return experiments.Figure8(cfg)
 		}},
 		{"fit", "facebook_fit_map.tsv", func() (renderer, error) { return experiments.FacebookFit("map", 20000, *seed) }},
@@ -138,6 +151,13 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
+	}
+	if cache != nil {
+		// Honest totals: each sweep repetition generates its own trace,
+		// so a first run is all misses — the hits arrive when the same
+		// figure reruns with identical parameters.
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", st.Hits, st.Misses)
 	}
 	// Consolidate everything generated so far into one reviewable file.
 	reportPath := filepath.Join(*outDir, "REPORT.md")

@@ -36,6 +36,15 @@
 //
 // -linger keeps the process (and its /runs state) up after the run
 // completes so scrapers and watchers can read the final state.
+//
+// -cache-dir/-cache-mem (on the replay path, -sweep, and `trace run`)
+// enable the content-addressed replay result cache: identical
+// (trace, config, policy) inputs are served from the cache instead of
+// re-simulated, and summary lines report "cache: N hits, M misses".
+// The `cache` subcommand maintains an on-disk cache directory:
+//
+//	simmr cache info  -cache-dir DIR    # entry count and bytes
+//	simmr cache clear -cache-dir DIR    # delete all entries
 package main
 
 import (
@@ -56,6 +65,13 @@ func main() {
 	// falls through to the classic replay path.
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		if err := runTraceCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "simmr:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cache" {
+		if err := runCacheCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "simmr:", err)
 			os.Exit(1)
 		}
@@ -95,6 +111,7 @@ func run() error {
 		debugAddr   = flag.String("debug-addr", "", "serve expvar run metrics and pprof on this address (e.g. localhost:6060)")
 		linger      = flag.Duration("linger", 0, "with -debug-addr: keep the process (and its /runs state) alive this long after the run completes, for scrapers and smoke tests")
 	)
+	cf := addCacheFlags(flag.CommandLine)
 	flag.Parse()
 
 	// The debug server comes up before the trace loads so its lifecycle
@@ -118,8 +135,9 @@ func run() error {
 		printInfo(tr)
 		return nil
 	}
+	cache := cf.open(tel)
 	if *sweep != "" {
-		return runSweep(tr, *sweep, *shard, tel)
+		return runSweep(tr, *sweep, *shard, tel, cache)
 	}
 	if *shard != "" {
 		return fmt.Errorf("-shard only applies to -sweep")
@@ -144,8 +162,13 @@ func run() error {
 			cfg.Sink = simmr.TeeSinks(tel.EngineSink(), opsSink)
 		}
 		stopRun := tel.Span("run")
-		res, err := simmr.Replay(cfg, tr, policy)
+		res, hit, err := simmr.ReplayCached(cache, cfg, tr, policy)
 		stopRun()
+		if hit && tel != nil {
+			// The engine never ran, so no sink RunEnd will arrive;
+			// rebalance the expected-run count.
+			tel.ExpectRuns(-1)
+		}
 		opsDone(res, err)
 		if err != nil {
 			return err
@@ -181,6 +204,7 @@ func run() error {
 		}
 		fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s\n",
 			len(res.Jobs), res.Makespan, res.Events, policy.Name())
+		printCacheLine(cache)
 	case "mumak":
 		res, err := simmr.ReplayMumak(simmr.DefaultMumakConfig(), tr, policy)
 		if err != nil {
@@ -238,7 +262,7 @@ func writeTimeline(path string, res *simmr.ReplayResult, step float64) error {
 // this process's residue class of the grid runs (each process can
 // mmap one shared packed trace read-only); the output gains a cell
 // column so shard outputs merge back into grid order.
-func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry) error {
+func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry, cache *simmr.Cache) error {
 	var counts []int
 	for _, part := range strings.Split(spec, ",") {
 		var n int
@@ -247,7 +271,7 @@ func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry) error {
 		}
 		counts = append(counts, n)
 	}
-	scfg := simmr.SweepConfig{MapSlotCounts: counts, Telemetry: tel}
+	scfg := simmr.SweepConfig{MapSlotCounts: counts, Telemetry: tel, Cache: cache}
 	if tel != nil {
 		// The ops plane rides the debug server: register the sweep so
 		// /runs and `simmr ops watch` can follow it, with per-cell
@@ -273,6 +297,7 @@ func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry) error {
 			fmt.Printf("%d\t%d\t%d\t%.1f\t%.1f\t%d\n",
 				p.Cell, p.MapSlots, p.ReduceSlots, p.Makespan, p.MeanCompletion, p.DeadlinesMissed)
 		}
+		printCacheLine(cache)
 		return nil
 	}
 	fmt.Println("map_slots\treduce_slots\tmakespan_s\tmean_completion_s\tmissed_deadlines")
@@ -280,6 +305,7 @@ func runSweep(tr *simmr.Trace, spec, shard string, tel *simmr.Telemetry) error {
 		fmt.Printf("%d\t%d\t%.1f\t%.1f\t%d\n",
 			p.MapSlots, p.ReduceSlots, p.Makespan, p.MeanCompletion, p.DeadlinesMissed)
 	}
+	printCacheLine(cache)
 	return nil
 }
 

@@ -57,6 +57,7 @@ func runTraceRun(args []string) error {
 		slotTSV     = fs.String("slot-timeline", "", "also write a slot-occupancy TSV (renders via internal/report)")
 		debugAddr   = fs.String("debug-addr", "", "serve Prometheus /metrics, expvar, and pprof on this address")
 	)
+	cf := addCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,14 +107,29 @@ func runTraceRun(args []string) error {
 		MinMapPercentCompleted: *slowstart,
 		Sink:                   sink,
 	}
+	cache := cf.open(tel)
 	stopRun := tel.Span("run")
-	res, err := simmr.Replay(cfg, tr, policy)
+	res, hit, err := simmr.ReplayCached(cache, cfg, tr, policy)
 	stopRun()
+	if hit && tel != nil {
+		// The engine never ran; no sink RunEnd will arrive.
+		tel.ExpectRuns(-1)
+	}
 	opsDone(res, err)
 	if err != nil {
 		return err
 	}
 	defer tel.Span("report")()
+	if hit {
+		// A cached result carries no sink output: the Chrome trace and
+		// slot timeline are event exports, and no events were replayed.
+		// Say so instead of writing empty files.
+		fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s\n",
+			len(res.Jobs), res.Makespan, res.Events, policy.Name())
+		printCacheLine(cache)
+		fmt.Printf("cache hit: skipped event exports (%s); rerun without the cache flags to regenerate them\n", *out)
+		return nil
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -141,6 +157,7 @@ func runTraceRun(args []string) error {
 	}
 	fmt.Printf("%d jobs, makespan %.1f s, %d events, policy %s\n",
 		len(res.Jobs), res.Makespan, res.Events, policy.Name())
+	printCacheLine(cache)
 	printRunSummary(res, attrSink.Report())
 	fmt.Printf("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *out)
 	if tl != nil {

@@ -1,0 +1,69 @@
+package benchkit
+
+import (
+	"testing"
+
+	"simmr/internal/rcache"
+	"simmr/internal/sched"
+	"simmr/pkg/simmr"
+)
+
+// CacheWarm measures a fully warm replay-result-cache hit on the shared
+// replay fixture: key the trace/config/policy, look the entry up in the
+// memory tier, decode the stored columnar image into a fresh Result.
+// Reported as jobs/sec (the cache serves whole-result units; events
+// never replay on a hit). The baseline ratio against Replay is the
+// cache_warm_speedup metric — the guard holds it to
+// CacheWarmSpeedupFloor.
+func CacheWarm(b *testing.B) {
+	tr := fixture(replayJobs)
+	c := simmr.NewCache(simmr.CacheOptions{})
+	cfg := simmr.DefaultReplayConfig()
+	if _, hit, err := simmr.ReplayCached(c, cfg, tr, simmr.NewFIFO()); err != nil || hit {
+		b.Fatalf("priming replay: hit=%v err=%v", hit, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var jobs uint64
+	for i := 0; i < b.N; i++ {
+		res, hit, err := simmr.ReplayCached(c, cfg, tr, simmr.NewFIFO())
+		if err != nil || !hit {
+			b.Fatalf("warm lookup: hit=%v err=%v", hit, err)
+		}
+		jobs += uint64(len(res.Jobs))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// CacheMissWork measures the pure bookkeeping a cache-enabled replay
+// adds on a MISS: hash the trace, derive the 128-bit key, probe the
+// memory tier, encode and store the result. The replay itself is
+// excluded (it is identical with or without a cache), so
+// missSec/replaySec is exactly the cold-pass overhead fraction — the
+// cache_cold_overhead_pct metric the guard bounds at
+// CacheColdOverheadMaxPct. Each iteration uses a distinct key
+// (trHash varied by i) so every probe is a genuine miss and every
+// store a genuine insert, with LRU eviction cost included once the
+// budget fills.
+func CacheMissWork(b *testing.B) {
+	tr := fixture(replayJobs)
+	res, err := simmr.Replay(simmr.DefaultReplayConfig(), tr, simmr.NewFIFO())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := rcache.New(rcache.Options{})
+	cfg := simmr.DefaultReplayConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key, ok := rcache.KeyFor(tr.Hash()^uint64(i+1), cfg, sched.FIFO{})
+		if !ok {
+			b.Fatal("FIFO must fingerprint")
+		}
+		if _, hit := c.Get(key); hit {
+			b.Fatal("unexpected hit on varied key")
+		}
+		c.Put(key, res)
+	}
+}

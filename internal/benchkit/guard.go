@@ -16,6 +16,20 @@ import (
 // hard bound.
 const AllocTolerance = 0.05
 
+// allocLimit converts a baseline allocation count to its guard limit:
+// baseline + AllocTolerance, but never tighter than baseline + 1. The
+// pooled steady states are single-digit now, and at that scale the
+// benchmark's integer truncation of a rare amortized allocation (a map
+// bucket split every few hundred runs) flips the reported count by one
+// — that is rounding, not regression, and 5% of 5 is zero headroom.
+func allocLimit(base int64) int64 {
+	lim := int64(float64(base) * (1 + AllocTolerance))
+	if lim < base+1 {
+		lim = base + 1
+	}
+	return lim
+}
+
 // ThroughputFloor is the fraction of baseline events/sec below which
 // the guard fails: any >10% regression is an error. Wall-clock is
 // noisier than allocation counts, but the replay benchmark is long
@@ -99,6 +113,14 @@ type GuardReport struct {
 	TraceLoadJobsPerSec float64
 	TraceLoadSpeedup    float64
 
+	// The replay-result-cache smoke: warm-hit throughput and its speedup
+	// over a fresh replay, plus the miss path's bookkeeping as a
+	// percentage of one replay. Guarded when the baseline records
+	// cache_hit_jobs_per_sec.
+	CacheHitJobsPerSec   float64
+	CacheWarmSpeedup     float64
+	CacheColdOverheadPct float64
+
 	Baseline Metrics
 	Summary  string
 }
@@ -114,6 +136,24 @@ type GuardReport struct {
 // back to per-template copies, or per-job template duplication crept
 // back in.
 const TraceLoadSpeedupFloor = 5.0
+
+// CacheWarmSpeedupFloor is the hard lower bound on a warm cache hit's
+// advantage over a fresh replay of the same fixture. Structural like
+// the branch and trace-load floors: a hit is a memory-tier lookup plus
+// a columnar decode (tens of nanoseconds per job) against a full
+// discrete-event replay (microseconds per job), so the ratio barely
+// moves with host speed. Recorded baselines sit orders of magnitude
+// above 50x; a drop below it means the hit path started doing real
+// work — decode regressed, or a "hit" quietly re-replays.
+const CacheWarmSpeedupFloor = 50.0
+
+// CacheColdOverheadMaxPct is the hard upper bound on what a cold,
+// cache-enabled replay pays over an uncached one: the miss path's
+// bookkeeping (trace hash, key derivation, probe, encode, store)
+// measured directly and expressed as a percentage of one fresh replay.
+// Structural for the same host-independence reason — both numbers come
+// from the same machine.
+const CacheColdOverheadMaxPct = 2.0
 
 // BranchSpeedupFloor is the hard lower bound on BranchSet's advantage
 // over independent replays (K=8, 90% branch point): the shared prefix
@@ -150,9 +190,9 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 		Baseline:     base,
 	}
 
-	allocLimit := int64(float64(base.ReplayAllocsPerOp) * (1 + AllocTolerance))
+	replayAllocLimit := allocLimit(base.ReplayAllocsPerOp)
 	rep.Summary = fmt.Sprintf("replay allocs/op %d (baseline %d, limit %d), %.0f events/sec (baseline %.0f, floor %.0f)",
-		rep.AllocsPerOp, base.ReplayAllocsPerOp, allocLimit,
+		rep.AllocsPerOp, base.ReplayAllocsPerOp, replayAllocLimit,
 		rep.EventsPerSec, base.EventsPerSec, base.EventsPerSec*floor)
 
 	// Multi-tenant smoke: rerun the indexed 1000-job replay and hold the
@@ -163,7 +203,7 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 		sb := testing.Benchmark(func(b *testing.B) { MultiTenant(b, true) })
 		rep.SchedAllocsPerOp = sb.AllocsPerOp()
 		rep.SchedEventsPerSec = sb.Extra["events/sec"]
-		schedLimit = int64(float64(base.SchedAllocsPerOp) * (1 + AllocTolerance))
+		schedLimit = allocLimit(base.SchedAllocsPerOp)
 		rep.Summary += fmt.Sprintf("; sched allocs/op %d (baseline %d, limit %d), %.0f events/sec (baseline %.0f)",
 			rep.SchedAllocsPerOp, base.SchedAllocsPerOp, schedLimit,
 			rep.SchedEventsPerSec, base.SchedEventsPerSec)
@@ -197,7 +237,7 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 
 	// Attribution smoke: the no-sink bound above already proves that
 	// explanation costs nothing when off (the nil-sink path's allocation
-	// count is the very thing allocLimit holds); this reruns the replay
+	// count is the very thing replayAllocLimit holds); this reruns the replay
 	// with the attribution sink attached to record — and loosely floor —
 	// what explanation costs when asked for. Skipped against baselines
 	// that predate the attribution benchmark.
@@ -221,7 +261,7 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 		rep.FlightAllocsPerOp = fb.AllocsPerOp()
 		rep.FlightEventsPerSec = fb.Extra["events/sec"]
 		rep.Summary += fmt.Sprintf("; flight allocs/op %d (replay limit %d), %.0f events/sec (baseline %.0f)",
-			rep.FlightAllocsPerOp, allocLimit, rep.FlightEventsPerSec, base.FlightEventsPerSec)
+			rep.FlightAllocsPerOp, replayAllocLimit, rep.FlightEventsPerSec, base.FlightEventsPerSec)
 	}
 
 	// Trace-loader smoke: when the baseline records a load speedup,
@@ -240,7 +280,31 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 			rep.TraceLoadJobsPerSec, rep.TraceLoadSpeedup, base.TraceLoadSpeedup, TraceLoadSpeedupFloor)
 	}
 
-	if rep.AllocsPerOp > allocLimit {
+	// Replay-result-cache smoke: when the baseline records the cache
+	// metrics, rerun the warm-hit and miss-work benchmarks and hold both
+	// ends of the bargain — hits at least CacheWarmSpeedupFloor faster
+	// than a fresh replay, misses at most CacheColdOverheadMaxPct of
+	// one. Both are structural bounds (hit, miss, and replay all run on
+	// this host), so like the branch floor they never need re-baselining
+	// for a slower machine. Skipped against baselines that predate the
+	// cache benchmarks.
+	if base.CacheHitJobsPerSec > 0 {
+		cw := testing.Benchmark(CacheWarm)
+		rep.CacheHitJobsPerSec = cw.Extra["jobs/sec"]
+		replaySec := bench.T.Seconds() / float64(bench.N)
+		if warmSec := cw.T.Seconds() / float64(cw.N); warmSec > 0 {
+			rep.CacheWarmSpeedup = replaySec / warmSec
+		}
+		cm := testing.Benchmark(CacheMissWork)
+		if replaySec > 0 {
+			rep.CacheColdOverheadPct = (cm.T.Seconds() / float64(cm.N)) / replaySec * 100
+		}
+		rep.Summary += fmt.Sprintf("; cache warm %.0f jobs/sec, %.0fx over replay (floor %.0fx), cold overhead %.3f%% (max %.1f%%)",
+			rep.CacheHitJobsPerSec, rep.CacheWarmSpeedup, CacheWarmSpeedupFloor,
+			rep.CacheColdOverheadPct, CacheColdOverheadMaxPct)
+	}
+
+	if rep.AllocsPerOp > replayAllocLimit {
 		return rep, fmt.Errorf("benchkit: replay allocations regressed >%.0f%%: %d/op vs baseline %d/op",
 			AllocTolerance*100, rep.AllocsPerOp, base.ReplayAllocsPerOp)
 	}
@@ -264,9 +328,9 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 		return rep, fmt.Errorf("benchkit: attributed replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
 			rep.AttrEventsPerSec, base.AttrEventsPerSec, floor)
 	}
-	if base.FlightEventsPerSec > 0 && rep.FlightAllocsPerOp > allocLimit {
+	if base.FlightEventsPerSec > 0 && rep.FlightAllocsPerOp > replayAllocLimit {
 		return rep, fmt.Errorf("benchkit: flight recorder lost its zero-alloc steady state: %d allocs/op vs bare-replay limit %d",
-			rep.FlightAllocsPerOp, allocLimit)
+			rep.FlightAllocsPerOp, replayAllocLimit)
 	}
 	if base.FlightEventsPerSec > 0 && floor > 0 && rep.FlightEventsPerSec < base.FlightEventsPerSec*floor {
 		return rep, fmt.Errorf("benchkit: flight-recorded replay throughput collapsed: %.0f events/sec vs baseline %.0f (floor %.2f)",
@@ -275,6 +339,14 @@ func GuardWithFloor(baselinePath string, floor float64) (GuardReport, error) {
 	if base.TraceLoadSpeedup > 0 && rep.TraceLoadSpeedup < TraceLoadSpeedupFloor {
 		return rep, fmt.Errorf("benchkit: packed trace loader lost its advantage over JSON: %.1fx vs floor %.0fx (baseline %.1fx)",
 			rep.TraceLoadSpeedup, TraceLoadSpeedupFloor, base.TraceLoadSpeedup)
+	}
+	if base.CacheHitJobsPerSec > 0 && rep.CacheWarmSpeedup < CacheWarmSpeedupFloor {
+		return rep, fmt.Errorf("benchkit: warm cache hit lost its advantage over fresh replay: %.1fx vs floor %.0fx (baseline %.1fx)",
+			rep.CacheWarmSpeedup, CacheWarmSpeedupFloor, base.CacheWarmSpeedup)
+	}
+	if base.CacheHitJobsPerSec > 0 && rep.CacheColdOverheadPct > CacheColdOverheadMaxPct {
+		return rep, fmt.Errorf("benchkit: cache miss bookkeeping exceeds its budget: %.3f%% of a replay vs max %.1f%% (baseline %.3f%%)",
+			rep.CacheColdOverheadPct, CacheColdOverheadMaxPct, base.CacheColdOverheadPct)
 	}
 	return rep, nil
 }

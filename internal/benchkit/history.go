@@ -51,6 +51,12 @@ type HistoryRecord struct {
 	TraceLoadSpeedup    float64 `json:"trace_load_speedup,omitempty"`
 	TraceBytesPerJob    float64 `json:"trace_bytes_per_job,omitempty"`
 
+	// Content-addressed replay result cache (warm-hit serving and
+	// miss-path bookkeeping); zero on runs predating the cache.
+	CacheHitJobsPerSec   float64 `json:"cache_hit_jobs_per_sec,omitempty"`
+	CacheWarmSpeedup     float64 `json:"cache_warm_speedup,omitempty"`
+	CacheColdOverheadPct float64 `json:"cache_cold_overhead_pct,omitempty"`
+
 	// Guard runs record what they compared against.
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	BaselineAllocsPerOp  int64   `json:"baseline_allocs_per_op,omitempty"`

@@ -53,6 +53,9 @@ var watchMetrics = []watchMetric{
 	{"flight_events_per_sec", func(r *HistoryRecord) float64 { return r.FlightEventsPerSec }, true},
 	{"trace_load_jobs_per_sec", func(r *HistoryRecord) float64 { return r.TraceLoadJobsPerSec }, true},
 	{"trace_load_speedup", func(r *HistoryRecord) float64 { return r.TraceLoadSpeedup }, true},
+	{"cache_hit_jobs_per_sec", func(r *HistoryRecord) float64 { return r.CacheHitJobsPerSec }, true},
+	{"cache_warm_speedup", func(r *HistoryRecord) float64 { return r.CacheWarmSpeedup }, true},
+	{"cache_cold_overhead_pct", func(r *HistoryRecord) float64 { return r.CacheColdOverheadPct }, false},
 }
 
 // Regression is one flagged metric: the newest run's value against the

@@ -946,7 +946,10 @@ func (e *Engine) onMapStageComplete(sj *simJob) {
 			e.emit(obs.KindFillerPatch, sj.info.ID, f.spanIdx, end, now+f.firstShuffle)
 		}
 	}
-	sj.fillers = nil
+	// Keep the backing array: Reset truncates with [:0] so a pooled
+	// engine reuses each job's filler slab across replays instead of
+	// re-growing it (one append chain per job per run otherwise).
+	sj.fillers = sj.fillers[:0]
 	// Map-only jobs depart here; so do jobs whose reduces all finished
 	// already (possible under the NoFirstShuffleSpecialCase ablation,
 	// where a replayed cold shuffle can end before the map stage).

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"simmr/internal/engine"
 	"simmr/internal/metrics"
 	"simmr/internal/parallel"
+	"simmr/internal/rcache"
 	"simmr/internal/sched"
 	"simmr/internal/synth"
 	"simmr/internal/telemetry"
@@ -43,6 +45,14 @@ type DeadlineSweepConfig struct {
 	// pool's reuse hit rate, per-replay wall times) — what cmd/
 	// experiments -debug-addr scrapes during the longest sweeps.
 	Telemetry *telemetry.SimMetrics
+	// Cache, when set, memoizes each repetition's two replays through
+	// the content-addressed replay result cache. Every repetition
+	// generates its own trace, so within a single sweep hits are rare
+	// (≈0); the payoff is across invocations — the generators are
+	// seed-deterministic, so rerunning the same figure with the same
+	// parameters against a disk cache serves every replay from the
+	// store. CacheHits on the result reports how many replays were.
+	Cache *rcache.Cache
 }
 
 // DefaultFigure7Config returns the paper's Figure 7 sweep. Repetitions
@@ -82,6 +92,9 @@ type DeadlineSweepResult struct {
 	Name   string
 	Config DeadlineSweepConfig
 	Points []DeadlineSweepPoint
+	// CacheHits counts replays served from Config.Cache (out of
+	// cells × repetitions × 2 total); zero when no cache was set.
+	CacheHits uint64
 }
 
 // Figure7 compares MaxEDF and MinEDF on the real testbed workload: the
@@ -206,6 +219,7 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 		tel.ExpectRuns(len(cells) * cfg.Repetitions * 2)
 		pool.OnGet = tel.PoolGet
 	}
+	var cacheHits atomic.Uint64
 	points, err := parallel.MapProgress(context.Background(), 0, len(cells), cfg.Progress,
 		func(_ context.Context, i int) (DeadlineSweepPoint, error) {
 			c := cells[i]
@@ -224,11 +238,11 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 				assignDeadlines(tr, baselines, c.df, rng)
 				tr.Normalize()
 
-				maxVal, err := runUtility(&pool, tel, cellCfg, tr, sched.MaxEDF{})
+				maxVal, err := runUtility(&pool, tel, cfg.Cache, &cacheHits, cellCfg, tr, sched.MaxEDF{})
 				if err != nil {
 					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MaxEDF: %w", name, err)
 				}
-				minVal, err := runUtility(&pool, tel, cellCfg, tr, sched.MinEDF{})
+				minVal, err := runUtility(&pool, tel, cfg.Cache, &cacheHits, cellCfg, tr, sched.MinEDF{})
 				if err != nil {
 					return DeadlineSweepPoint{}, fmt.Errorf("experiments: %s MinEDF: %w", name, err)
 				}
@@ -245,7 +259,12 @@ func deadlineSweep(name string, cfg DeadlineSweepConfig, gen traceGen) (*Deadlin
 	if err != nil {
 		return nil, err
 	}
-	return &DeadlineSweepResult{Name: name, Config: cfg, Points: points}, nil
+	if h := cacheHits.Load(); h > 0 && tel != nil {
+		// Cached replays never fire a sink RunEnd; rebalance the
+		// expected-run count so the expvar "done" counter converges.
+		tel.ExpectRuns(-int(h))
+	}
+	return &DeadlineSweepResult{Name: name, Config: cfg, Points: points, CacheHits: cacheHits.Load()}, nil
 }
 
 // assignDeadlines draws each job's deadline uniformly in [T_J, df·T_J]
@@ -262,18 +281,37 @@ func assignDeadlines(tr *trace.Trace, baselines []float64, df float64, rng *rand
 
 // runUtility replays the trace on a pooled engine and evaluates the
 // relative-deadline-exceeded utility. The engine treats the trace as
-// read-only, so back-to-back replays need no clone.
-func runUtility(pool *engine.Pool, tel *telemetry.SimMetrics, cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
-	var start time.Time
-	if tel != nil {
-		start = time.Now()
+// read-only, so back-to-back replays need no clone. With a cache the
+// replay is memoized: a hit skips the engine (and per-replay
+// telemetry — the caller rebalances ExpectRuns by the hit count).
+func runUtility(pool *engine.Pool, tel *telemetry.SimMetrics, cache *rcache.Cache, hits *atomic.Uint64, cfg engine.Config, tr *trace.Trace, policy sched.Policy) (float64, error) {
+	var res *engine.Result
+	var key rcache.Key
+	var keyOK bool
+	if cache != nil {
+		if key, keyOK = rcache.KeyFor(tr.Hash(), cfg, policy); keyOK {
+			if r, ok := cache.Get(key); ok {
+				hits.Add(1)
+				res = r
+			}
+		}
 	}
-	res, err := pool.Run(cfg, tr, policy)
-	if err != nil {
-		return 0, err
-	}
-	if tel != nil {
-		tel.ReplayDone(time.Since(start), res.Events)
+	if res == nil {
+		var start time.Time
+		if tel != nil {
+			start = time.Now()
+		}
+		var err error
+		res, err = pool.Run(cfg, tr, policy)
+		if err != nil {
+			return 0, err
+		}
+		if keyOK {
+			cache.Put(key, res)
+		}
+		if tel != nil {
+			tel.ReplayDone(time.Since(start), res.Events)
+		}
 	}
 	obs := make([]metrics.DeadlineObservation, 0, len(res.Jobs))
 	for _, j := range res.Jobs {

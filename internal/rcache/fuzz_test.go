@@ -1,0 +1,153 @@
+package rcache
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"simmr/internal/engine"
+	"simmr/internal/sched"
+	"simmr/internal/synth"
+)
+
+// FuzzDecodeRCache throws corrupted, truncated, and adversarial entry
+// images at the decoder, mirroring tracebin's FuzzDecodeSTRC. The
+// contract: Decode either returns a coherent Result or an error — it
+// must never panic or over-read, because in production every decode
+// failure is a silent fall-back to recompute and a panic would take
+// the whole sweep down. The seeds cover a valid image (with spans, so
+// all three sections are populated), truncations at every section
+// boundary, and targeted corruption of the job count and the section
+// table with the CRC gates patched so corruption reaches the deeper
+// validators.
+func FuzzDecodeRCache(f *testing.F) {
+	tr, err := synth.ProductionTrace(12, rand.New(rand.NewSource(3)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.RecordSpans = true
+	res, err := engine.Run(cfg, tr, sched.MaxEDF{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	key, ok := KeyFor(tr.Hash(), cfg, sched.MaxEDF{})
+	if !ok {
+		f.Fatal("no key")
+	}
+	img, err := Encode(key, res)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add([]byte(entryMagic))
+	f.Add(img[:entryHeaderSize])
+	f.Add(img[:entryHeaderSize/2])
+
+	// Truncate at and just inside each section boundary.
+	for i := 0; i < numSecs; i++ {
+		base := sectionTableOff + i*sectionEntrySz
+		off := binary.LittleEndian.Uint64(img[base:])
+		size := binary.LittleEndian.Uint64(img[base+8:])
+		if off < uint64(len(img)) {
+			f.Add(append([]byte(nil), img[:off]...))
+		}
+		if end := off + size; end > 0 && end <= uint64(len(img)) {
+			f.Add(append([]byte(nil), img[:end-1]...))
+		}
+	}
+	// Corrupt the job count (header CRC patched so it reaches the
+	// section validators).
+	for _, v := range []uint64{0, 1, 1 << 20, 1 << 60, ^uint64(0)} {
+		mut := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint64(mut[8:], v)
+		patchEntryHeaderCRC(mut)
+		f.Add(mut)
+	}
+	// Corrupt each section-table entry's offset and size.
+	for i := 0; i < numSecs; i++ {
+		base := sectionTableOff + i*sectionEntrySz
+		for _, v := range []uint64{0, 7, uint64(len(img)), ^uint64(0) >> 1} {
+			mut := append([]byte(nil), img...)
+			binary.LittleEndian.PutUint64(mut[base:], v)
+			patchEntryHeaderCRC(mut)
+			f.Add(mut)
+			mut2 := append([]byte(nil), img...)
+			binary.LittleEndian.PutUint64(mut2[base+8:], v)
+			patchEntryHeaderCRC(mut2)
+			f.Add(mut2)
+		}
+	}
+	// Corrupt the name-offset table and the span counts with section +
+	// header CRCs patched, so the monotonicity and span-sum validators
+	// are reached.
+	colsOff := int(binary.LittleEndian.Uint64(img[sectionTableOff+secNames*sectionEntrySz:]))
+	if colsOff+8 <= len(img) {
+		mut := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint32(mut[colsOff:], ^uint32(0))
+		patchEntrySectionCRC(mut, secNames)
+		patchEntryHeaderCRC(mut)
+		f.Add(mut)
+	}
+	spansOff := int(binary.LittleEndian.Uint64(img[sectionTableOff+secSpans*sectionEntrySz:]))
+	if spansOff+4 <= len(img) {
+		mut := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint32(mut[spansOff:], ^uint32(0)>>1)
+		patchEntrySectionCRC(mut, secSpans)
+		patchEntryHeaderCRC(mut)
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data, key)
+		if err != nil {
+			return
+		}
+		// A successful decode must be coherent: the job slice matches
+		// the header count and every span slice is fully materialized
+		// (no references into the input image — touch everything).
+		if got == nil {
+			t.Fatal("nil result without error")
+		}
+		var sum float64
+		for i := range got.Jobs {
+			j := &got.Jobs[i]
+			sum += j.Arrival + j.Finish + j.Deadline + j.MapStageEnd
+			_ = len(j.Name)
+			for _, s := range j.MapSpans {
+				sum += s.Start + s.End
+			}
+			for _, s := range j.ReduceSpans {
+				sum += s.Start + s.End + s.ShuffleEnd
+			}
+		}
+		_ = sum
+	})
+}
+
+// patchEntryHeaderCRC recomputes the header CRC after a mutation so
+// the corruption penetrates past the integrity gate.
+func patchEntryHeaderCRC(img []byte) {
+	if len(img) < entryHeaderSize {
+		return
+	}
+	binary.LittleEndian.PutUint32(img[headerCRCOff:], crc32.Checksum(img[:headerCRCOff], castagnoli))
+}
+
+// patchEntrySectionCRC recomputes one section's table CRC after
+// mutating its payload.
+func patchEntrySectionCRC(img []byte, idx int) {
+	if len(img) < entryHeaderSize {
+		return
+	}
+	base := sectionTableOff + idx*sectionEntrySz
+	off := binary.LittleEndian.Uint64(img[base:])
+	size := binary.LittleEndian.Uint64(img[base+8:])
+	if off > uint64(len(img)) || size > uint64(len(img))-off {
+		return
+	}
+	binary.LittleEndian.PutUint32(img[base+16:], crc32.Checksum(img[off:off+size], castagnoli))
+}

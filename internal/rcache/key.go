@@ -1,0 +1,110 @@
+// Package rcache is a two-tier, content-addressed replay result cache.
+//
+// The engine is fully deterministic: identical (trace, config, policy)
+// inputs always produce byte-identical []JobOutcome. That determinism
+// is the entire correctness argument here — the cache never needs an
+// invalidation protocol, because a key can only collide with an entry
+// computed from the same inputs ("invalidation by construction"). The
+// key is a 128-bit fingerprint over trace.Hash(), a canonical binary
+// encoding of the engine.Config identity fields, and the sched policy
+// fingerprint; anything unfingerprintable (custom policies, stateful
+// policies, Capacity with a caller-supplied QueueOf) bypasses the
+// cache rather than risk a wrong hit.
+//
+// Tier one is a sharded, lock-striped, byte-budgeted in-memory LRU
+// holding encoded entries; tier two is an optional on-disk store, one
+// file per entry, written atomically (temp + rename, like
+// tracebin.Writer) and CRC-guarded. Any decode or CRC failure on
+// either tier is treated as a miss and silently falls back to
+// recompute — corruption can cost a replay, never correctness.
+package rcache
+
+import (
+	"fmt"
+	"math"
+
+	"simmr/internal/engine"
+	"simmr/internal/sched"
+)
+
+// keyVersion is folded into every key. Bump it whenever the entry
+// encoding or the key material changes: old entries simply stop being
+// addressable, which is the whole invalidation story.
+const keyVersion = 1
+
+// Key is the 128-bit content address of one replay result: two
+// independent FNV-1a lanes over the same canonical material. 64 bits
+// would already make accidental collision unlikely; the second lane
+// puts it out of reach for cache populations far beyond anything a
+// sweep grid produces.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// String renders the key as 32 hex digits — also the on-disk filename.
+func (k Key) String() string {
+	return fmt.Sprintf("%016x%016x", k.Hi, k.Lo)
+}
+
+// KeyFor computes the content address for replaying tr (identified by
+// traceHash = tr.Hash()) under cfg with policy p. ok is false when the
+// policy declines to fingerprint; callers must bypass the cache then.
+//
+// Config.Sink is deliberately excluded: sinks observe a replay, they
+// never alter its outcomes. The consequence — documented at every
+// wiring point — is that a cache hit does not re-emit sink events,
+// because no simulation ran.
+func KeyFor(traceHash uint64, cfg engine.Config, p sched.Policy) (Key, bool) {
+	fp, ok := sched.FingerprintOf(p)
+	if !ok {
+		return Key{}, false
+	}
+	return Key{
+		Hi: keyLane(0x9e3779b97f4a7c15, traceHash, cfg, fp),
+		Lo: keyLane(0, traceHash, cfg, fp),
+	}, true
+}
+
+// keyLane is one FNV-1a pass over the canonical key material; lane
+// seeds differ so Hi and Lo are independent hashes of the same bytes.
+func keyLane(seed, traceHash uint64, cfg engine.Config, policyFP uint64) uint64 {
+	h := fnvOffset
+	h.u64(seed)
+	h.u64(keyVersion)
+	h.u64(traceHash)
+	// Canonical Config encoding: every field that can change outcomes,
+	// in declaration order, fixed width. Sink is observability-only.
+	h.u64(uint64(int64(cfg.MapSlots)))
+	h.u64(uint64(int64(cfg.ReduceSlots)))
+	h.u64(math.Float64bits(cfg.MinMapPercentCompleted))
+	var flags uint64
+	if cfg.RecordSpans {
+		flags |= 1
+	}
+	if cfg.NoShuffleModel {
+		flags |= 2
+	}
+	if cfg.NoFirstShuffleSpecialCase {
+		flags |= 4
+	}
+	if cfg.PreemptMapTasks {
+		flags |= 8
+	}
+	h.u64(flags)
+	h.u64(policyFP)
+	return uint64(h)
+}
+
+// fnv64 is the FNV-1a accumulator idiom shared with trace.Hash.
+type fnv64 uint64
+
+const (
+	fnvOffset fnv64  = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func (h *fnv64) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		*h = fnv64((uint64(*h) ^ uint64(byte(v>>(8*i)))) * fnvPrime)
+	}
+}

@@ -1,0 +1,255 @@
+package rcache
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"simmr/internal/engine"
+	"simmr/internal/obs"
+	"simmr/internal/sched"
+	"simmr/internal/synth"
+)
+
+func testResult(t testing.TB, jobs int, cfg engine.Config, p sched.Policy) (*engine.Result, uint64) {
+	t.Helper()
+	tr, err := synth.ProductionTrace(jobs, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(cfg, tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr.Hash()
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, spans := range []bool{false, true} {
+		cfg := engine.DefaultConfig()
+		cfg.RecordSpans = spans
+		res, h := testResult(t, 30, cfg, sched.MaxEDF{})
+		k, ok := KeyFor(h, cfg, sched.MaxEDF{})
+		if !ok {
+			t.Fatal("MaxEDF must fingerprint")
+		}
+		img, err := Encode(k, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(img, k)
+		if err != nil {
+			t.Fatalf("spans=%v: %v", spans, err)
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Fatalf("spans=%v: decode != original", spans)
+		}
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	base := engine.DefaultConfig()
+	k0, _ := KeyFor(1, base, sched.FIFO{})
+	variants := []struct {
+		name string
+		hash uint64
+		cfg  func(engine.Config) engine.Config
+		p    sched.Policy
+	}{
+		{"trace", 2, nil, sched.FIFO{}},
+		{"mapslots", 1, func(c engine.Config) engine.Config { c.MapSlots = 32; return c }, sched.FIFO{}},
+		{"redslots", 1, func(c engine.Config) engine.Config { c.ReduceSlots = 32; return c }, sched.FIFO{}},
+		{"slowstart", 1, func(c engine.Config) engine.Config { c.MinMapPercentCompleted = 0.5; return c }, sched.FIFO{}},
+		{"spans", 1, func(c engine.Config) engine.Config { c.RecordSpans = true; return c }, sched.FIFO{}},
+		{"noshuffle", 1, func(c engine.Config) engine.Config { c.NoShuffleModel = true; return c }, sched.FIFO{}},
+		{"nofirst", 1, func(c engine.Config) engine.Config { c.NoFirstShuffleSpecialCase = true; return c }, sched.FIFO{}},
+		{"preempt", 1, func(c engine.Config) engine.Config { c.PreemptMapTasks = true; return c }, sched.FIFO{}},
+		{"policy", 1, nil, sched.MaxEDF{}},
+	}
+	keys := map[Key]string{k0: "base"}
+	for _, v := range variants {
+		cfg := base
+		if v.cfg != nil {
+			cfg = v.cfg(base)
+		}
+		k, ok := KeyFor(v.hash, cfg, v.p)
+		if !ok {
+			t.Fatalf("%s: no fingerprint", v.name)
+		}
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s collides with %s", v.name, prev)
+		}
+		keys[k] = v.name
+	}
+
+	// Sink must NOT affect the key: it observes, it cannot change outcomes.
+	withSink := base
+	withSink.Sink = nopSink{}
+	k1, _ := KeyFor(1, withSink, sched.FIFO{})
+	if k1 != k0 {
+		t.Error("Sink changed the cache key; it must be excluded")
+	}
+
+	// Unfingerprintable policies must refuse a key.
+	if _, ok := KeyFor(1, base, &sched.DynamicPriority{}); ok {
+		t.Error("DynamicPriority must not produce a cache key")
+	}
+}
+
+type nopSink struct{}
+
+func (nopSink) Event(obs.Event)     {}
+func (nopSink) RunEnd(obs.Counters) {}
+
+func TestMemoryTierLRU(t *testing.T) {
+	// Budget small enough that only a handful of entries fit.
+	cfg := engine.DefaultConfig()
+	res, h := testResult(t, 20, cfg, sched.FIFO{})
+	img, _ := Encode(Key{}, res)
+	perEntry := int64(len(img)) + entryOverhead
+
+	c := New(Options{MemBytes: perEntry * numShards * 2}) // ~2 per shard
+	var keys []Key
+	for i := 0; i < numShards*8; i++ {
+		k, _ := KeyFor(h+uint64(i), cfg, sched.FIFO{})
+		c.Put(k, res)
+		keys = append(keys, k)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions, stats %+v", st)
+	}
+	if st.MemBytes > perEntry*numShards*2 {
+		t.Fatalf("budget exceeded: %d resident > %d", st.MemBytes, perEntry*numShards*2)
+	}
+	// Most-recent insertions should still be resident; evicted keys miss.
+	if _, ok := c.Get(keys[len(keys)-1]); !ok {
+		t.Error("most recent entry evicted")
+	}
+	hits := 0
+	for _, k := range keys {
+		if _, ok := c.Get(k); ok {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(keys) {
+		t.Fatalf("LRU kept %d/%d entries; expected a strict subset", hits, len(keys))
+	}
+}
+
+func TestDiskTierRoundtripAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	cfg := engine.DefaultConfig()
+	res, h := testResult(t, 25, cfg, sched.Fair{})
+	k, _ := KeyFor(h, cfg, sched.Fair{})
+
+	c1 := New(Options{Dir: dir})
+	c1.Put(k, res)
+	if n, bytes, err := c1.DiskInfo(); err != nil || n != 1 || bytes == 0 {
+		t.Fatalf("DiskInfo = %d entries %d bytes, err %v", n, bytes, err)
+	}
+
+	// A fresh cache over the same dir: memory cold, must hit from disk
+	// and promote.
+	c2 := New(Options{Dir: dir})
+	got, ok := c2.Get(k)
+	if !ok {
+		t.Fatal("disk tier miss")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatal("disk hit differs from original")
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.MemEntries != 1 {
+		t.Fatalf("expected disk hit + promotion, stats %+v", st)
+	}
+	// Second Get serves from memory.
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Fatalf("promotion not serving from memory: %+v", st)
+	}
+
+	if err := c2.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, _ := c2.DiskInfo(); n != 0 {
+		t.Fatalf("Clear left %d disk entries", n)
+	}
+	if _, ok := c2.Get(k); ok {
+		t.Fatal("entry survived Clear")
+	}
+}
+
+// TestCorruptEntryFallsBack pins the acceptance bar: flipped bytes,
+// truncation, or garbage on either tier is a silent miss, never an
+// error or a wrong result.
+func TestCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	cfg := engine.DefaultConfig()
+	cfg.RecordSpans = true
+	res, h := testResult(t, 25, cfg, sched.MinEDF{})
+	k, _ := KeyFor(h, cfg, sched.MinEDF{})
+
+	fresh := func() *Cache {
+		c := New(Options{Dir: dir})
+		c.Put(k, res)
+		return c
+	}
+	path := filepath.Join(dir, k.String()+diskExt)
+	fresh() // seed the disk tier so there is an entry image to corrupt
+
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string]func() []byte{
+		"empty":           func() []byte { return nil },
+		"garbage":         func() []byte { return []byte(strings.Repeat("x", 300)) },
+		"truncated-half":  func() []byte { return append([]byte(nil), img[:len(img)/2]...) },
+		"header-bit-flip": func() []byte { m := append([]byte(nil), img...); m[9] ^= 0xff; return m },
+		"payload-flip": func() []byte {
+			m := append([]byte(nil), img...)
+			m[entryHeaderSize+3] ^= 0x40
+			return m
+		},
+		"bad-version": func() []byte { m := append([]byte(nil), img...); m[4] = 0x7f; return m },
+	}
+	for name, mk := range corruptions {
+		c := fresh() // memory holds a good copy; poison both tiers
+		if err := os.WriteFile(path, mk(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Poison the memory tier too by inserting the corrupt bytes.
+		c.insert(k, mk())
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s: corrupt entry served as a hit", name)
+		}
+		if st := c.Stats(); st.Misses != 1 {
+			t.Errorf("%s: corruption must count as a miss, stats %+v", name, st)
+		}
+		// The poisoned file must have been removed so Put can heal it.
+		if _, err := os.Stat(path); err == nil && name != "empty" {
+			t.Errorf("%s: corrupt disk entry not removed", name)
+		}
+		os.Remove(path)
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Key{1, 2}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(Key{1, 2}, &engine.Result{}) // must not panic
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,6 +87,11 @@ type Snapshot struct {
 	// Events/Jobs accumulate engine totals as sub-runs finish.
 	Events uint64 `json:"events"`
 	Jobs   uint64 `json:"jobs"`
+	// Cached counts sub-runs served from the replay result cache
+	// instead of simulation; when every cell was cached the run's
+	// terminal phase is "cached" so a memoized run is never mistaken
+	// for a fresh one.
+	Cached uint64 `json:"cached,omitempty"`
 	// Outcome is "running" until End, then "ok", "error", or
 	// "canceled"; Error carries the failure message.
 	Outcome string `json:"outcome"`
@@ -121,6 +126,7 @@ type Handle struct {
 	total  atomic.Int64
 	events atomic.Uint64
 	jobs   atomic.Uint64
+	cached atomic.Uint64
 	end    atomic.Pointer[ended]
 
 	ticker *parallel.Ticker
@@ -200,6 +206,22 @@ func (h *Handle) AddJobs(n uint64) {
 	h.jobs.Add(n)
 }
 
+// AddCached accumulates sub-runs served from the replay result cache.
+func (h *Handle) AddCached(n uint64) {
+	if h == nil {
+		return
+	}
+	h.cached.Add(n)
+}
+
+// Cached returns the number of cache-served sub-runs so far.
+func (h *Handle) Cached() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.cached.Load()
+}
+
 // End retires the run: nil err means OutcomeOK, context cancellation
 // becomes OutcomeCanceled, anything else OutcomeError. Exactly the
 // first call wins; subscribers receive one final frame and their
@@ -253,6 +275,7 @@ func (h *Handle) Snapshot() Snapshot {
 		Total:   int(h.total.Load()),
 		Events:  h.events.Load(),
 		Jobs:    h.jobs.Load(),
+		Cached:  h.cached.Load(),
 		Outcome: OutcomeRunning,
 	}
 	if p := h.phase.Load(); p != nil {

@@ -118,6 +118,14 @@ func simulateTwoJobs(tel *SimMetrics) {
 	// Two what-if branches forked off a shared prefix: known COW splits.
 	tel.ForkDone(1000, 4000)
 	tel.ForkDone(1500, 3500)
+
+	// Replay cache traffic: one memory hit, one disk hit, one miss, two
+	// LRU evictions, 4 KiB resident.
+	tel.RCacheHit(false)
+	tel.RCacheHit(true)
+	tel.RCacheMiss()
+	tel.RCacheEvictions(2)
+	tel.RCacheBytes(4096)
 }
 
 // TestSimMetricsGolden pins the full /metrics exposition of the SimMR
@@ -181,6 +189,11 @@ func TestSimMetricsGolden(t *testing.T) {
 		{`simmr_engine_fork_bytes_shared 7500`},
 		{`simmr_makespan_seconds 250`},
 		{`simmr_queue_high_water_events_max 4`},
+		{`simmr_rcache_hits_total{tier="mem"} 1`},
+		{`simmr_rcache_hits_total{tier="disk"} 1`},
+		{`simmr_rcache_misses_total 1`},
+		{`simmr_rcache_evictions_total 2`},
+		{`simmr_rcache_bytes 4096`},
 	} {
 		if !strings.Contains(got, check.line+"\n") {
 			t.Errorf("exposition missing %q", check.line)

@@ -75,6 +75,11 @@ type SimMetrics struct {
 	forkBytesCopied *Counter
 	forkBytesShared *Counter
 
+	rcacheHits      [2]*Counter // by serving tier: [mem, disk]
+	rcacheMisses    *Counter
+	rcacheEvictions *Counter
+	rcacheBytes     atomic.Int64 // resident bytes, exposed as a func gauge
+
 	simTime  *MaxGauge
 	makespan *MaxGauge
 	queueMax *MaxGauge
@@ -141,6 +146,17 @@ func NewSimMetrics(shards int) *SimMetrics {
 		"Engine acquisitions from the replay pool, by whether a warmed engine was reused.",
 		"reused", []string{"false", "true"})
 	t.poolGets[0], t.poolGets[1] = pg[0], pg[1]
+	rh := r.NewCounterVec("simmr_rcache_hits_total",
+		"Replay result cache hits, by the tier that served them.",
+		"tier", []string{"mem", "disk"})
+	t.rcacheHits[0], t.rcacheHits[1] = rh[0], rh[1]
+	t.rcacheMisses = r.NewCounter("simmr_rcache_misses_total",
+		"Replay result cache misses (including corrupt entries silently dropped).")
+	t.rcacheEvictions = r.NewCounter("simmr_rcache_evictions_total",
+		"Entries evicted from the cache's in-memory LRU tier under byte-budget pressure.")
+	r.NewFuncGauge("simmr_rcache_bytes",
+		"Bytes resident in the replay result cache's in-memory tier.",
+		func() float64 { return float64(t.rcacheBytes.Load()) })
 	t.spans = r.NewHistogramVec("simmr_replay_stage_seconds",
 		"Wall-clock replay lifecycle stage timings (trace load, engine build, run, report).",
 		"stage", SpanStages, WallBuckets)
@@ -217,6 +233,45 @@ func (t *SimMetrics) PoolGet(reused bool) {
 		i = 1
 	}
 	t.poolGets[i].Inc(t.reg.NextShard())
+}
+
+// RCacheHit records one replay-result-cache hit; disk says which tier
+// served it. Together with RCacheMiss/RCacheEvictions/RCacheBytes this
+// makes *SimMetrics satisfy rcache.Observer. Cold path, once per
+// lookup.
+func (t *SimMetrics) RCacheHit(disk bool) {
+	if t == nil {
+		return
+	}
+	i := 0
+	if disk {
+		i = 1
+	}
+	t.rcacheHits[i].Inc(t.reg.NextShard())
+}
+
+// RCacheMiss records one replay-result-cache miss.
+func (t *SimMetrics) RCacheMiss() {
+	if t == nil {
+		return
+	}
+	t.rcacheMisses.Inc(t.reg.NextShard())
+}
+
+// RCacheEvictions records n entries evicted from the memory tier.
+func (t *SimMetrics) RCacheEvictions(n uint64) {
+	if t == nil {
+		return
+	}
+	t.rcacheEvictions.Add(t.reg.NextShard(), n)
+}
+
+// RCacheBytes reports the cache's current resident memory bytes.
+func (t *SimMetrics) RCacheBytes(n int64) {
+	if t == nil {
+		return
+	}
+	t.rcacheBytes.Store(n)
 }
 
 // Span starts timing one replay-lifecycle stage ("load", "build",

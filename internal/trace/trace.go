@@ -238,6 +238,15 @@ type Trace struct {
 	// backing pins the storage the job templates alias (nil for plain
 	// heap traces). Clone never carries it: clones are deep copies.
 	backing io.Closer
+
+	// validated memoizes a successful Validate. Pooled engines
+	// re-validate the shared trace on every Run, and on a large trace
+	// the duplicate-ID map dominates the pooled replay's allocations —
+	// with the memo, re-validating an unchanged trace is one atomic
+	// load. Same staleness caveat as the profile cache below: mutating
+	// jobs in place after a successful Validate is not re-checked;
+	// Normalize (the documented mutation point) clears the memo.
+	validated atomic.Bool
 }
 
 // SetBacking attaches the storage this trace's templates alias (e.g. a
@@ -266,7 +275,15 @@ var ErrEmptyTrace = errors.New("trace: no jobs")
 // deduplicated million-job trace whose jobs share a few hundred
 // templates validates in time proportional to the jobs plus the
 // unique duration volume, never re-walking shared arrays.
+//
+// A successful Validate is memoized: pooled engines validate the shared
+// trace on every Run, and the duplicate-ID map would otherwise dominate
+// a warm replay's allocations. Mutating jobs in place afterwards is not
+// re-checked; Normalize clears the memo.
 func (tr *Trace) Validate() error {
+	if tr.validated.Load() {
+		return nil
+	}
 	if len(tr.Jobs) == 0 {
 		return ErrEmptyTrace
 	}
@@ -293,12 +310,14 @@ func (tr *Trace) Validate() error {
 			validated[j.Template] = true
 		}
 	}
+	tr.validated.Store(true)
 	return nil
 }
 
 // Normalize sorts jobs by arrival time (stable) and reassigns contiguous
 // IDs in arrival order. Call before replaying a hand-assembled trace.
 func (tr *Trace) Normalize() {
+	tr.validated.Store(false)
 	// insertion sort keeps it stable and dependency-free
 	for i := 1; i < len(tr.Jobs); i++ {
 		for j := i; j > 0 && tr.Jobs[j-1].Arrival > tr.Jobs[j].Arrival; j-- {

@@ -3,6 +3,7 @@ package simmr
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"simmr/internal/engine"
@@ -72,6 +73,10 @@ type BatchConfig struct {
 	// size to every spec's engine (-1 selects the default; 0 disables) —
 	// see SweepConfig.Flight.
 	Flight int
+	// Cache, when set, memoizes specs through the content-addressed
+	// replay result cache — see SweepConfig.Cache for the semantics
+	// (cached specs skip the engine and their sinks do not fire).
+	Cache *Cache
 }
 
 // ReplayBatchCfg is the fully configurable batch entry point; the other
@@ -93,6 +98,7 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 	run := beginRun(bcfg.Runs, runs.KindBatch, batchTrace(specs), nil,
 		fmt.Sprintf("specs=%d", len(specs)))
 	run.SetPhase("replay")
+	var hits atomic.Uint64
 	results, err := parallel.MapProgress(ctx, bcfg.Workers, len(specs), run.ProgressFunc(bcfg.Progress), func(_ context.Context, i int) (*ReplayResult, error) {
 		spec := &specs[i]
 		cfg := spec.Config
@@ -107,6 +113,17 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 		policy := spec.Policy
 		if policy == nil {
 			policy = sched.FIFO{}
+		}
+		// Consult the cache before claiming an engine (a cached spec
+		// never simulates, so its sinks do not fire).
+		key, keyOK := cacheKey(bcfg.Cache, cfg, spec.Trace, policy)
+		if keyOK {
+			if res, ok := bcfg.Cache.Get(key); ok {
+				hits.Add(1)
+				run.AddCached(1)
+				run.AddJobs(uint64(len(res.Jobs)))
+				return res, nil
+			}
 		}
 		rec, flightDone := runFlight(run, bcfg.Flight, specName(spec))
 		if rec != nil {
@@ -124,6 +141,9 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 		if err != nil {
 			return nil, fmt.Errorf("simmr: replay batch spec %d (%s): %w", i, specName(spec), err)
 		}
+		if keyOK {
+			bcfg.Cache.Put(key, res)
+		}
 		if tel != nil {
 			tel.ReplayDone(time.Since(start), res.Events)
 		}
@@ -131,6 +151,16 @@ func ReplayBatchCfg(ctx context.Context, bcfg BatchConfig, specs []ReplaySpec) (
 		run.AddJobs(uint64(len(res.Jobs)))
 		return res, nil
 	})
+	if h := hits.Load(); h > 0 {
+		// Cached specs never replayed: rebalance the expected-run count
+		// and mark a fully memoized batch with its own terminal phase.
+		if tel != nil {
+			tel.ExpectRuns(-int(h))
+		}
+		if err == nil && h == uint64(len(specs)) {
+			run.SetPhase("cached")
+		}
+	}
 	run.End(err)
 	return results, err
 }

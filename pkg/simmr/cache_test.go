@@ -1,0 +1,274 @@
+package simmr
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"simmr/internal/rcache"
+)
+
+// cachePolicies enumerates every fingerprintable built-in — the seven
+// reference schedulers plus their indexed equivalents — as factories so
+// stateful (Indexed) policies get a fresh instance per replay.
+func cachePolicies() []struct {
+	name string
+	mk   func() Policy
+} {
+	base := []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"fifo", NewFIFO},
+		{"maxedf", NewMaxEDF},
+		{"minedf-avg", NewMinEDF},
+		{"minedf-low", func() Policy { return MinEDFWithEstimator("low") }},
+		{"minedf-up", func() Policy { return MinEDFWithEstimator("up") }},
+		{"fair", NewFair},
+		{"capacity", func() Policy { return NewCapacity([]float64{0.6, 0.4}) }},
+	}
+	all := base
+	for _, p := range base {
+		mk := p.mk
+		all = append(all, struct {
+			name string
+			mk   func() Policy
+		}{"indexed-" + p.name, func() Policy { return Indexed(mk()) }})
+	}
+	return all
+}
+
+// The tentpole differential suite: for every fingerprintable built-in
+// policy (including indexed variants) and for span-recording and
+// map-preemption configurations, a cache hit must reproduce the fresh
+// replay byte-for-byte — DeepEqual on the decoded Result AND identical
+// canonical encodings. The engine's determinism is what makes the cache
+// sound; this test is the pin.
+func TestCacheDifferentialAllPolicies(t *testing.T) {
+	tr, err := MultiTenantTrace(80, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		cfg  ReplayConfig
+	}{
+		{"base", ReplayConfig{MapSlots: 8, ReduceSlots: 8, MinMapPercentCompleted: 0.05}},
+		{"spans", ReplayConfig{MapSlots: 8, ReduceSlots: 8, MinMapPercentCompleted: 0.05, RecordSpans: true}},
+		{"preempt", ReplayConfig{MapSlots: 6, ReduceSlots: 6, MinMapPercentCompleted: 0.05, PreemptMapTasks: true}},
+	}
+	for _, pc := range cachePolicies() {
+		for _, cc := range configs {
+			t.Run(pc.name+"/"+cc.name, func(t *testing.T) {
+				fresh, err := Replay(cc.cfg, tr, pc.mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := NewCache(CacheOptions{MemBytes: 32 << 20})
+				got, hit, err := ReplayCached(c, cc.cfg, tr, pc.mk())
+				if err != nil || hit {
+					t.Fatalf("first pass: hit=%v err=%v, want miss", hit, err)
+				}
+				if !reflect.DeepEqual(got, fresh) {
+					t.Fatal("first (stored) result differs from plain Replay")
+				}
+				got2, hit, err := ReplayCached(c, cc.cfg, tr, pc.mk())
+				if err != nil || !hit {
+					t.Fatalf("second pass: hit=%v err=%v, want hit", hit, err)
+				}
+				if !reflect.DeepEqual(got2, fresh) {
+					t.Fatal("cached result differs from fresh replay")
+				}
+				// Byte-level identity: the canonical encodings must match,
+				// not merely compare DeepEqual.
+				key, ok := rcache.KeyFor(tr.Hash(), cc.cfg, pc.mk())
+				if !ok {
+					t.Fatal("built-in policy must fingerprint")
+				}
+				fb, err := rcache.Encode(key, fresh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := rcache.Encode(key, got2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(fb) != string(cb) {
+					t.Fatal("cached and fresh results encode to different bytes")
+				}
+				st := c.Stats()
+				if st.Hits != 1 || st.Misses != 1 {
+					t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+				}
+			})
+		}
+	}
+}
+
+// DynamicPriority is stateful and carries caller-supplied maps, so it
+// has no stable fingerprint: every ReplayCached through it must bypass
+// the cache entirely — no hit, no miss, no stored entry — while still
+// returning a correct replay.
+func TestCacheDynamicPriorityBypasses(t *testing.T) {
+	tr, err := MultiTenantTrace(40, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ReplayConfig{MapSlots: 8, ReduceSlots: 8, MinMapPercentCompleted: 0.05}
+	budgets := map[int]float64{0: 100, 1: 100}
+	bids := map[int]float64{0: 2, 1: 1}
+	c := NewCache(CacheOptions{})
+	for pass := 0; pass < 2; pass++ {
+		res, hit, err := ReplayCached(c, cfg, tr, NewDynamicPriority(budgets, bids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("pass %d: DynamicPriority must never hit the cache", pass)
+		}
+		if len(res.Jobs) != len(tr.Jobs) {
+			t.Fatalf("pass %d: %d outcomes for %d jobs", pass, len(res.Jobs), len(tr.Jobs))
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.MemEntries != 0 {
+		t.Fatalf("bypass must not touch the cache: %+v", st)
+	}
+}
+
+// A sweep run twice against one cache: the second pass must be 100%
+// hits, produce identical SweepPoints, count the cells in the run
+// registry's Cached field, and end in the "cached" terminal phase.
+func TestSweepCacheSecondPassAllHits(t *testing.T) {
+	tr, err := MultiTenantTrace(60, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(CacheOptions{})
+	reg := NewRunRegistry(8)
+	cfg := SweepConfig{
+		MapSlotCounts: []int{4, 8, 16},
+		Policy:        NewMinEDF(),
+		Cache:         c,
+		Runs:          reg,
+	}
+	first, err := CapacitySweep(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != uint64(len(first)) || st.Hits != 0 {
+		t.Fatalf("cold sweep stats = %+v, want %d misses", st, len(first))
+	}
+	second, err := CapacitySweep(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("warm sweep points differ from cold sweep")
+	}
+	st = c.Stats()
+	if st.Hits != uint64(len(first)) {
+		t.Fatalf("warm sweep stats = %+v, want %d hits", st, len(first))
+	}
+	snap := reg.Latest().Snapshot()
+	if snap.Cached != uint64(len(first)) {
+		t.Fatalf("run snapshot cached = %d, want %d", snap.Cached, len(first))
+	}
+	if snap.Phase != "cached" {
+		t.Fatalf("fully memoized sweep phase = %q, want cached", snap.Phase)
+	}
+}
+
+// A batch mixing every fingerprintable policy, run twice against one
+// cache: second pass 100% hits with spec-order results identical to the
+// first, and the registry records the fully cached batch.
+func TestBatchCacheSecondPassAllHits(t *testing.T) {
+	tr, err := MultiTenantTrace(50, rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := cachePolicies()
+	mkSpecs := func() []ReplaySpec {
+		specs := make([]ReplaySpec, len(pols))
+		for i, p := range pols {
+			specs[i] = ReplaySpec{
+				Name:   fmt.Sprintf("s%d-%s", i, p.name),
+				Config: ReplayConfig{MapSlots: 8, ReduceSlots: 8, MinMapPercentCompleted: 0.05},
+				Trace:  tr,
+				Policy: p.mk(),
+			}
+		}
+		return specs
+	}
+	c := NewCache(CacheOptions{})
+	reg := NewRunRegistry(8)
+	// Workers: 1 makes the hit/miss split deterministic: an indexed
+	// policy shares its reference policy's fingerprint (they are pinned
+	// byte-identical), so within the cold pass the 7 indexed specs hit
+	// the entries the 7 base specs just stored.
+	bcfg := BatchConfig{Workers: 1, Cache: c, Runs: reg}
+	first, err := ReplayBatchCfg(t.Context(), bcfg, mkSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReplayBatchCfg(t.Context(), bcfg, mkSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("warm batch results differ from cold batch")
+	}
+	nbase := uint64(len(pols) / 2)
+	if st := c.Stats(); st.Misses != nbase || st.Hits != nbase+uint64(len(pols)) {
+		t.Fatalf("stats = %+v, want %d misses / %d hits", st, nbase, nbase+uint64(len(pols)))
+	}
+	snap := reg.Latest().Snapshot()
+	if snap.Cached != uint64(len(pols)) || snap.Phase != "cached" {
+		t.Fatalf("run snapshot = phase %q cached %d, want cached/%d", snap.Phase, snap.Cached, len(pols))
+	}
+}
+
+// Disk-tier corruption at the public API level: flipping bytes in a
+// stored .srrc entry must degrade ReplayCached to a silent recompute —
+// no error surfaces, the corrupt file is removed, and the re-stored
+// entry hits again.
+func TestCacheCorruptDiskEntryFallsBack(t *testing.T) {
+	tr, err := MultiTenantTrace(40, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ReplayConfig{MapSlots: 8, ReduceSlots: 8, MinMapPercentCompleted: 0.05}
+	dir := t.TempDir()
+	fresh, _, err := ReplayCached(NewCache(CacheOptions{Dir: dir}), cfg, tr, NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := filepath.Glob(filepath.Join(dir, "*.srrc"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("want exactly one cache file, got %v (%v)", ents, err)
+	}
+	img, err := os.ReadFile(ents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0xff
+	if err := os.WriteFile(ents[0], img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache on the same dir has an empty memory tier, so the
+	// lookup must go to disk, detect the corruption, and recompute.
+	c := NewCache(CacheOptions{Dir: dir})
+	got, hit, err := ReplayCached(c, cfg, tr, NewFIFO())
+	if err != nil || hit {
+		t.Fatalf("corrupt entry: hit=%v err=%v, want silent miss", hit, err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Fatal("recomputed result differs from original")
+	}
+	if _, hit, err = ReplayCached(c, cfg, tr, NewFIFO()); err != nil || !hit {
+		t.Fatalf("re-stored entry: hit=%v err=%v, want hit", hit, err)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"simmr/internal/engine"
 	"simmr/internal/obs"
 	"simmr/internal/parallel"
+	"simmr/internal/rcache"
 	"simmr/internal/runs"
 	"simmr/internal/sched"
 )
@@ -84,6 +86,15 @@ type SweepConfig struct {
 	// deadline misses and errors capture post-mortems automatically,
 	// and POST /runs/{id}/flight triggers live ones. 0 disables.
 	Flight int
+	// Cache, when set, memoizes cells through the content-addressed
+	// replay result cache: each cell consults the cache before claiming
+	// an engine from the pool, and stores its result after replaying.
+	// Cached cells skip the engine entirely, so SinkFactory, Flight,
+	// and per-replay telemetry do not fire for them; the run registry
+	// counts them (Snapshot.Cached) and a fully cached sweep ends in
+	// phase "cached". Policies without a stable fingerprint bypass the
+	// cache. Nil disables caching.
+	Cache *Cache
 	// Shards/ShardIndex partition the grid for multi-process execution:
 	// with Shards = N > 1, only cells whose global grid index ≡
 	// ShardIndex (mod N) are replayed, and each process can share one
@@ -182,6 +193,13 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		tel.ExpectRuns(len(sel))
 		pool.OnGet = tel.PoolGet
 	}
+	// The trace hash is cell-invariant; hoisting it keeps the per-cell
+	// cache-key cost independent of trace size.
+	var trHash uint64
+	var hits atomic.Uint64
+	if cfg.Cache != nil {
+		trHash = tr.Hash()
+	}
 	run := beginRun(cfg.Runs, runs.KindSweep, tr, cfg.Policy,
 		fmt.Sprintf("grid=%dx%d shards=%d", len(cfg.MapSlotCounts), rows, max(cfg.Shards, 1)))
 	run.SetPhase("replay")
@@ -192,6 +210,21 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 			MapSlots:               c.m,
 			ReduceSlots:            c.r,
 			MinMapPercentCompleted: slowstart,
+		}
+		pol := newPolicy()
+		// Consult the cache before claiming an engine (or building any
+		// sinks — a cached cell never simulates, so sinks do not fire).
+		var key rcache.Key
+		var keyOK bool
+		if cfg.Cache != nil {
+			if key, keyOK = rcache.KeyFor(trHash, ecfg, pol); keyOK {
+				if res, ok := cfg.Cache.Get(key); ok {
+					hits.Add(1)
+					run.AddCached(1)
+					run.AddJobs(uint64(len(res.Jobs)))
+					return sweepPoint(cell, c, res), nil
+				}
+			}
 		}
 		if cfg.SinkFactory != nil {
 			ecfg.Sink = cfg.SinkFactory(c.m, c.r)
@@ -207,10 +240,13 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 			ecfg.Sink = obs.Tee(ecfg.Sink, tel.EngineSink())
 			start = time.Now()
 		}
-		res, err := pool.Run(ecfg, tr, newPolicy())
+		res, err := pool.Run(ecfg, tr, pol)
 		flightDone(res, err)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("simmr: sweep at %d+%d slots: %w", c.m, c.r, err)
+		}
+		if keyOK {
+			cfg.Cache.Put(key, res)
 		}
 		if tel != nil {
 			tel.ReplayDone(time.Since(start), res.Events)
@@ -219,6 +255,17 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		run.AddJobs(uint64(len(res.Jobs)))
 		return sweepPoint(cell, c, res), nil
 	})
+	if h := hits.Load(); h > 0 {
+		// Cached cells never replayed: rebalance the expected-run count
+		// so the expvar "done" view converges, and mark a fully
+		// memoized sweep with its own terminal phase.
+		if tel != nil {
+			tel.ExpectRuns(-int(h))
+		}
+		if err == nil && h == uint64(len(sel)) {
+			run.SetPhase("cached")
+		}
+	}
 	run.End(err)
 	return points, err
 }

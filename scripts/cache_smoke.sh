@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# cache_smoke.sh — live end-to-end check of the replay result cache
+# (`make smoke-cache`, CI's cache-smoke job).
+#
+# Runs the same 1000-job capacity sweep twice against one -cache-dir
+# and proves, from the CLI surface alone:
+#
+#   1. the cold pass reports all misses and seeds the cache directory
+#   2. `simmr cache info` sees the stored entries
+#   3. the warm pass reports 100% hits and 0 misses
+#   4. both passes print byte-identical sweep tables (memoization never
+#      changes results)
+#   5. the warm pass is measurably faster than the cold one
+#   6. `simmr cache clear` empties the directory
+#
+# Binaries are prebuilt into the work dir so `go run` compile time never
+# pollutes the cold/warm timing comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+CACHE="$WORK/cache"
+
+go build -o "$WORK/tracegen" ./cmd/tracegen
+go build -o "$WORK/simmr" ./cmd/simmr
+
+"$WORK/tracegen" -kind multitenant -n 1000 -out "$WORK/smoke.json"
+
+SWEEP="8,16,24,32,48,64,96,128,160,192,224,256"
+
+t0=$(date +%s%N)
+"$WORK/simmr" -trace "$WORK/smoke.json" -policy maxedf -sweep "$SWEEP" \
+    -cache-dir "$CACHE" >"$WORK/cold.out"
+t1=$(date +%s%N)
+COLD_MS=$(( (t1 - t0) / 1000000 ))
+
+grep -q '^cache: 0 hits, 12 misses$' "$WORK/cold.out" || {
+    echo "FAIL: cold pass should be 12 misses"; cat "$WORK/cold.out"; exit 1; }
+echo "ok: cold pass all misses (${COLD_MS}ms)"
+
+"$WORK/simmr" cache info -cache-dir "$CACHE" | tee "$WORK/info.out"
+grep -q ' 12 entries, ' "$WORK/info.out" || {
+    echo "FAIL: cache info should report 12 entries"; exit 1; }
+echo "ok: cache info sees 12 entries"
+
+t0=$(date +%s%N)
+"$WORK/simmr" -trace "$WORK/smoke.json" -policy maxedf -sweep "$SWEEP" \
+    -cache-dir "$CACHE" >"$WORK/warm.out"
+t1=$(date +%s%N)
+WARM_MS=$(( (t1 - t0) / 1000000 ))
+
+grep -q '^cache: 12 hits, 0 misses$' "$WORK/warm.out" || {
+    echo "FAIL: warm pass should be 100% hits"; cat "$WORK/warm.out"; exit 1; }
+echo "ok: warm pass 100% hits (${WARM_MS}ms)"
+
+# Memoization must be invisible in the output: identical sweep tables.
+if ! diff -u "$WORK/cold.out" "$WORK/warm.out" >"$WORK/diff.out"; then
+    grep -v '^cache: ' "$WORK/cold.out" >"$WORK/cold.tbl"
+    grep -v '^cache: ' "$WORK/warm.out" >"$WORK/warm.tbl"
+    diff -u "$WORK/cold.tbl" "$WORK/warm.tbl" || {
+        echo "FAIL: warm sweep table differs from cold"; exit 1; }
+fi
+echo "ok: warm sweep table identical to cold"
+
+# "Measurably faster": the warm pass replays nothing, so even with
+# process startup and trace loading it must beat the cold pass outright.
+[ "$WARM_MS" -lt "$COLD_MS" ] || {
+    echo "FAIL: warm pass (${WARM_MS}ms) not faster than cold (${COLD_MS}ms)"; exit 1; }
+echo "ok: warm pass faster (${COLD_MS}ms cold -> ${WARM_MS}ms warm)"
+
+"$WORK/simmr" cache clear -cache-dir "$CACHE"
+"$WORK/simmr" cache info -cache-dir "$CACHE" | grep -q ' 0 entries, ' || {
+    echo "FAIL: cache clear left entries behind"; exit 1; }
+echo "ok: cache clear emptied the directory"
+
+echo "cache-smoke: OK"

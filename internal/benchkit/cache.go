@@ -37,13 +37,13 @@ func CacheWarm(b *testing.B) {
 }
 
 // CacheMissWork measures the pure bookkeeping a cache-enabled replay
-// adds on a MISS: hash the trace, derive the 128-bit key, probe the
-// memory tier, encode and store the result. The replay itself is
-// excluded (it is identical with or without a cache), so
+// adds on a MISS: digest the trace content, derive the 128-bit key,
+// probe the memory tier, encode and store the result. The replay
+// itself is excluded (it is identical with or without a cache), so
 // missSec/replaySec is exactly the cold-pass overhead fraction — the
 // cache_cold_overhead_pct metric the guard bounds at
 // CacheColdOverheadMaxPct. Each iteration uses a distinct key
-// (trHash varied by i) so every probe is a genuine miss and every
+// (the digest varied by i) so every probe is a genuine miss and every
 // store a genuine insert, with LRU eviction cost included once the
 // budget fills.
 func CacheMissWork(b *testing.B) {
@@ -57,7 +57,7 @@ func CacheMissWork(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		key, ok := rcache.KeyFor(tr.Hash()^uint64(i+1), cfg, sched.FIFO{})
+		key, ok := rcache.KeyFor(tr.ContentHash()^uint64(i+1), cfg, sched.FIFO{})
 		if !ok {
 			b.Fatal("FIFO must fingerprint")
 		}

@@ -34,6 +34,18 @@ import (
 	"simmr/internal/trace"
 )
 
+// SemanticsVersion numbers the engine's observable simulation
+// semantics: two binaries with the same SemanticsVersion MUST produce
+// byte-identical Results for every (trace, config, policy) input. It
+// is folded into every replay-result cache key (internal/rcache), so a
+// persistent -cache-dir populated by an older binary stops serving
+// entries the moment the engine's behavior changes. Bump it with ANY
+// outcome-affecting engine change — a shuffle-model fix, an event-order
+// tweak, a float reassociation — even ones that feel like pure bug
+// fixes; the golden-key test in rcache pins the consequence so the
+// bump is a conscious, reviewable decision.
+const SemanticsVersion = 1
+
 // Config parameterizes a replay run.
 type Config struct {
 	// MapSlots and ReduceSlots are the cluster-wide slot counts

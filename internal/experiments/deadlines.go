@@ -289,7 +289,7 @@ func runUtility(pool *engine.Pool, tel *telemetry.SimMetrics, cache *rcache.Cach
 	var key rcache.Key
 	var keyOK bool
 	if cache != nil {
-		if key, keyOK = rcache.KeyFor(tr.Hash(), cfg, policy); keyOK {
+		if key, keyOK = rcache.KeyFor(tr.ContentHash(), cfg, policy); keyOK {
 			if r, ok := cache.Get(key); ok {
 				hits.Add(1)
 				res = r

@@ -194,23 +194,26 @@ func (c *Cache) insert(k Key, data []byte) {
 	s := &c.shards[k.Lo&(numShards-1)]
 	var evicted uint64
 	s.mu.Lock()
-	if old, ok := s.m[k]; ok {
-		s.bytes -= int64(len(old.data)) + entryOverhead
-		c.bytes.Add(-(int64(len(old.data)) + entryOverhead))
-		old.data = data
-		s.bytes += cost
-		c.bytes.Add(cost)
-		s.moveToFront(old)
+	n, ok := s.m[k]
+	if ok {
+		delta := cost - (int64(len(n.data)) + entryOverhead)
+		n.data = data
+		s.bytes += delta
+		c.bytes.Add(delta)
+		s.moveToFront(n)
 	} else {
-		n := &node{key: k, data: data}
+		n = &node{key: k, data: data}
 		s.m[k] = n
 		s.pushFront(n)
 		s.bytes += cost
 		c.bytes.Add(cost)
-		for s.bytes > c.perShard && s.tail != nil && s.tail != n {
-			evicted++
-			c.evictOldest(s)
-		}
+	}
+	// Evict on both paths: an overwrite that grows the payload can push
+	// the shard over budget just as a fresh insert can. The just-touched
+	// node is at the front and excluded, so the loop always terminates.
+	for s.bytes > c.perShard && s.tail != nil && s.tail != n {
+		evicted++
+		c.evictOldest(s)
 	}
 	s.mu.Unlock()
 	if evicted > 0 {

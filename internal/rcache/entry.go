@@ -31,8 +31,10 @@ import (
 // Sections: cols (fixed-width numeric columns, 56 B/job), names
 // (u32 cumulative offsets[n+1] + string blob), spans (u32 per-job map
 // and reduce span counts, then f64 (start,end) pairs for map spans and
-// (start,end,shuffleEnd) triplets for reduce spans; empty unless
-// Config.RecordSpans was set).
+// (start,end,shuffleEnd) triplets for reduce spans; present whenever
+// the engine materialized span slices — i.e. Config.RecordSpans was
+// set — even if every count is zero, so Decode reconstructs non-nil
+// empty slices exactly as the fresh result holds them).
 const (
 	entryMagic      = "SRRC"
 	entryVersion    = 1
@@ -73,7 +75,11 @@ func Encode(k Key, res *engine.Result) ([]byte, error) {
 		nameLen += len(j.Name)
 		mapSpans += len(j.MapSpans)
 		redSpans += len(j.ReduceSpans)
-		if len(j.MapSpans) > 0 || len(j.ReduceSpans) > 0 {
+		// Nil-ness, not count: a RecordSpans engine materializes a
+		// (possibly empty) slice for every job, and Decode must restore
+		// exactly that shape for the cached==fresh DeepEqual invariant —
+		// even when every job recorded zero spans.
+		if j.MapSpans != nil || j.ReduceSpans != nil {
 			flags |= flagSpans
 		}
 		if j.MapTasksRun < 0 || j.MapTasksRun > math.MaxUint32 ||

@@ -32,7 +32,7 @@ func FuzzDecodeRCache(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	key, ok := KeyFor(tr.Hash(), cfg, sched.MaxEDF{})
+	key, ok := KeyFor(tr.ContentHash(), cfg, sched.MaxEDF{})
 	if !ok {
 		f.Fatal("no key")
 	}

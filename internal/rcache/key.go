@@ -5,11 +5,13 @@
 // is the entire correctness argument here — the cache never needs an
 // invalidation protocol, because a key can only collide with an entry
 // computed from the same inputs ("invalidation by construction"). The
-// key is a 128-bit fingerprint over trace.Hash(), a canonical binary
-// encoding of the engine.Config identity fields, and the sched policy
-// fingerprint; anything unfingerprintable (custom policies, stateful
-// policies, Capacity with a caller-supplied QueueOf) bypasses the
-// cache rather than risk a wrong hit.
+// key is a 128-bit fingerprint over the trace's full-content digest
+// (trace.ContentHash — every duration entry, not the run registry's
+// boundary-sampled trace.Hash), a canonical binary encoding of the
+// engine.Config identity fields, the sched policy fingerprint, and
+// engine.SemanticsVersion; anything unfingerprintable (custom
+// policies, stateful policies, Capacity with a caller-supplied
+// QueueOf) bypasses the cache rather than risk a wrong hit.
 //
 // Tier one is a sharded, lock-striped, byte-budgeted in-memory LRU
 // holding encoded entries; tier two is an optional on-disk store, one
@@ -29,7 +31,11 @@ import (
 
 // keyVersion is folded into every key. Bump it whenever the entry
 // encoding or the key material changes: old entries simply stop being
-// addressable, which is the whole invalidation story.
+// addressable, which is the whole invalidation story. The third
+// invalidation lever — engine behavior itself — is versioned
+// separately by engine.SemanticsVersion (also folded into every key),
+// so a simulation-semantics change invalidates a persistent cache dir
+// without touching the encoding version, and vice versa.
 const keyVersion = 1
 
 // Key is the 128-bit content address of one replay result: two
@@ -47,31 +53,39 @@ func (k Key) String() string {
 }
 
 // KeyFor computes the content address for replaying tr (identified by
-// traceHash = tr.Hash()) under cfg with policy p. ok is false when the
-// policy declines to fingerprint; callers must bypass the cache then.
+// traceDigest = tr.ContentHash()) under cfg with policy p. ok is false
+// when the policy declines to fingerprint; callers must bypass the
+// cache then.
+//
+// The digest MUST be the full-content ContentHash, not the structural
+// tr.Hash(): the structural hash samples only the boundary entries of
+// each duration vector, so traces differing in interior task durations
+// — exactly what what-if perturbations produce — would collide and
+// serve each other's results.
 //
 // Config.Sink is deliberately excluded: sinks observe a replay, they
 // never alter its outcomes. The consequence — documented at every
 // wiring point — is that a cache hit does not re-emit sink events,
 // because no simulation ran.
-func KeyFor(traceHash uint64, cfg engine.Config, p sched.Policy) (Key, bool) {
+func KeyFor(traceDigest uint64, cfg engine.Config, p sched.Policy) (Key, bool) {
 	fp, ok := sched.FingerprintOf(p)
 	if !ok {
 		return Key{}, false
 	}
 	return Key{
-		Hi: keyLane(0x9e3779b97f4a7c15, traceHash, cfg, fp),
-		Lo: keyLane(0, traceHash, cfg, fp),
+		Hi: keyLane(0x9e3779b97f4a7c15, traceDigest, cfg, fp),
+		Lo: keyLane(0, traceDigest, cfg, fp),
 	}, true
 }
 
 // keyLane is one FNV-1a pass over the canonical key material; lane
 // seeds differ so Hi and Lo are independent hashes of the same bytes.
-func keyLane(seed, traceHash uint64, cfg engine.Config, policyFP uint64) uint64 {
+func keyLane(seed, traceDigest uint64, cfg engine.Config, policyFP uint64) uint64 {
 	h := fnvOffset
 	h.u64(seed)
 	h.u64(keyVersion)
-	h.u64(traceHash)
+	h.u64(engine.SemanticsVersion)
+	h.u64(traceDigest)
 	// Canonical Config encoding: every field that can change outcomes,
 	// in declaration order, fixed width. Sink is observability-only.
 	h.u64(uint64(int64(cfg.MapSlots)))

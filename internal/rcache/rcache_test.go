@@ -24,7 +24,7 @@ func testResult(t testing.TB, jobs int, cfg engine.Config, p sched.Policy) (*eng
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res, tr.Hash()
+	return res, tr.ContentHash()
 }
 
 func TestEncodeDecodeRoundtrip(t *testing.T) {
@@ -104,6 +104,80 @@ type nopSink struct{}
 func (nopSink) Event(obs.Event)     {}
 func (nopSink) RunEnd(obs.Counters) {}
 
+// TestGoldenKey pins the exact key bits for fixed inputs — the
+// key-material analogue of the policy fingerprint golden table in
+// sched/fingerprint_test.go. The key folds keyVersion (entry encoding),
+// engine.SemanticsVersion (simulation behavior), the trace digest, the
+// Config encoding, and the policy fingerprint; a change to ANY of them
+// moves these values. That is the point: silently changed keys orphan
+// every persistent cache entry, and an engine behavior change WITHOUT
+// a SemanticsVersion bump would keep serving stale pre-change results
+// from an existing -cache-dir. If this test fails, decide which lever
+// you pulled — bump engine.SemanticsVersion for behavior changes,
+// keyVersion for encoding/material changes — then update the golden.
+func TestGoldenKey(t *testing.T) {
+	if v := engine.SemanticsVersion; v != 1 {
+		t.Logf("engine.SemanticsVersion = %d; goldens below were minted at version 1", v)
+	}
+	base := engine.DefaultConfig()
+	preempt := base
+	preempt.PreemptMapTasks = true
+	preempt.RecordSpans = true
+	golden := []struct {
+		name   string
+		digest uint64
+		cfg    engine.Config
+		p      sched.Policy
+		want   Key
+	}{
+		{"fifo-base", 0xfeedbeefcafe0001, base, sched.FIFO{},
+			Key{Hi: 0x63ee9b9186cae4f3, Lo: 0x92886beb41a2c896}},
+		{"maxedf-preempt-spans", 0xfeedbeefcafe0002, preempt, sched.MaxEDF{},
+			Key{Hi: 0xeae2703f1cb73bbe, Lo: 0xec968886c11e4193}},
+	}
+	for _, g := range golden {
+		k, ok := KeyFor(g.digest, g.cfg, g.p)
+		if !ok {
+			t.Fatalf("%s: no fingerprint", g.name)
+		}
+		if k != g.want {
+			t.Errorf("%s: key %s, golden %s — key material changed; bump keyVersion or engine.SemanticsVersion consciously, then re-mint",
+				g.name, k, g.want)
+		}
+	}
+}
+
+// A span-recording replay in which every job records zero spans still
+// materializes non-nil empty slices; the entry format must round-trip
+// that shape (flagSpans follows slice materialization, not counts) so
+// the cached==fresh DeepEqual invariant holds at the edge.
+func TestEncodeDecodeZeroSpanSlices(t *testing.T) {
+	res := &engine.Result{
+		Jobs: []engine.JobOutcome{
+			{ID: 0, Name: "a", Finish: 1, MapSpans: []engine.Span{}, ReduceSpans: []engine.Span{}},
+			{ID: 1, Name: "b", Finish: 2, MapSpans: []engine.Span{}, ReduceSpans: []engine.Span{}},
+		},
+		Makespan: 2,
+	}
+	k := Key{Hi: 3, Lo: 9}
+	img, err := Encode(k, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(img, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("zero-span slices not round-tripped: got %+v", got.Jobs)
+	}
+	for i := range got.Jobs {
+		if got.Jobs[i].MapSpans == nil || got.Jobs[i].ReduceSpans == nil {
+			t.Fatalf("job %d decoded nil span slices; fresh result holds non-nil empty ones", i)
+		}
+	}
+}
+
 func TestMemoryTierLRU(t *testing.T) {
 	// Budget small enough that only a handful of entries fit.
 	cfg := engine.DefaultConfig()
@@ -137,6 +211,52 @@ func TestMemoryTierLRU(t *testing.T) {
 	}
 	if hits == 0 || hits == len(keys) {
 		t.Fatalf("LRU kept %d/%d entries; expected a strict subset", hits, len(keys))
+	}
+}
+
+// Overwriting a resident entry with a larger payload must run the same
+// eviction loop as a fresh insert: without it a grown entry leaves the
+// shard over its byte budget until some unrelated insert cleans up.
+func TestOverwriteGrowthEvicts(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	small, _ := testResult(t, 5, cfg, sched.FIFO{})
+	large, h := testResult(t, 60, cfg, sched.FIFO{})
+	smallImg, _ := Encode(Key{}, small)
+	perSmall := int64(len(smallImg)) + entryOverhead
+
+	// Budget: four small entries per shard.
+	c := New(Options{MemBytes: perSmall * 4 * numShards})
+	// Fill one shard with four small entries (same low bits → same shard).
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = Key{Hi: uint64(i), Lo: h << 4} // identical shard selector
+		c.insert(keys[i], append([]byte(nil), smallImg...))
+	}
+	// Overwrite the last-touched key with a much larger payload.
+	largeImg, err := Encode(keys[3], large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(largeImg))+entryOverhead > c.perShard {
+		t.Skip("large entry exceeds whole shard budget; sizes drifted")
+	}
+	c.insert(keys[3], largeImg)
+	s := &c.shards[keys[3].Lo&(numShards-1)]
+	s.mu.Lock()
+	bytes, entries := s.bytes, len(s.m)
+	s.mu.Unlock()
+	if bytes > c.perShard {
+		t.Fatalf("shard %d bytes over budget %d after overwrite growth", bytes, c.perShard)
+	}
+	if entries == 4 {
+		t.Fatal("overwrite growth evicted nothing, yet budget was exceeded before")
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("eviction counter not advanced: %+v", st)
+	}
+	// The overwritten entry itself must survive and serve the new bytes.
+	if got, ok := c.Get(keys[3]); !ok || len(got.Jobs) != len(large.Jobs) {
+		t.Fatalf("overwritten entry lost or stale (ok=%v)", ok)
 	}
 }
 

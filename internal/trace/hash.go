@@ -60,3 +60,53 @@ func (t *Trace) Hash() uint64 {
 	}
 	return uint64(h)
 }
+
+// ContentHash returns a full-content 64-bit digest of the trace: every
+// field Hash covers plus EVERY entry of every per-task duration vector.
+// This is the cache-keying digest (internal/rcache): Hash's boundary
+// sampling is fine for run-registry identity but fatal for memoization,
+// because two traces differing only in interior task durations —
+// exactly what a what-if perturbation or trace edit produces — would
+// share a key and silently serve each other's results. The expensive
+// part — walking every duration entry — is memoized per Template
+// (durations are immutable once hashed, the same contract as the
+// template's profile cache; what-if scaling builds new Templates and
+// transforms touch only Job-level fields), so after the first call
+// over a template set the cost is O(jobs), matching Hash. Per-job
+// fields (arrival, deadline) are always folded fresh, so in-place
+// edits like StripIdle or deadline reassignment still re-key.
+func (t *Trace) ContentHash() uint64 {
+	h := fnv64(fnvOffset).str(t.Name).u64(uint64(len(t.Jobs)))
+	for _, j := range t.Jobs {
+		h = h.u64(uint64(j.ID)).f64(j.Arrival).f64(j.Deadline)
+		tpl := j.Template
+		if tpl == nil {
+			h = h.u64(0)
+			continue
+		}
+		h = h.u64(tpl.contentDigest())
+	}
+	return uint64(h)
+}
+
+// contentDigest folds the template's full content — identity fields
+// plus every entry of every duration vector — memoizing the result.
+// Racing writers store identical values, so the atomic needs no CAS.
+func (tpl *Template) contentDigest() uint64 {
+	if p := tpl.digest.Load(); p != nil {
+		return *p
+	}
+	th := fnv64(fnvOffset).str(tpl.AppName).str(tpl.Dataset).
+		u64(uint64(tpl.NumMaps)).u64(uint64(tpl.NumReduces))
+	for _, col := range [][]float64{
+		tpl.MapDurations, tpl.FirstShuffle, tpl.TypicalShuffle, tpl.ReduceDurations,
+	} {
+		th = th.u64(uint64(len(col)))
+		for _, d := range col {
+			th = th.f64(d)
+		}
+	}
+	v := uint64(th)
+	tpl.digest.Store(&v)
+	return v
+}

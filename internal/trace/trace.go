@@ -55,6 +55,16 @@ type Template struct {
 	// read-only; racing writers store identical values. Callers must not
 	// mutate duration slices after the first Profile call.
 	profile atomic.Pointer[Profile]
+
+	// digest caches the template's full-content fold for
+	// Trace.ContentHash, which must walk every duration entry — without
+	// the memo a per-replay cache-key computation would rescan each
+	// template's columns on every lookup and erase the warm-hit speedup
+	// the cache exists for. Same contract and concurrency story as the
+	// profile cache above: duration slices are immutable once hashed
+	// (what-if scaling builds new Templates; transforms touch only
+	// Job-level fields), and racing writers store identical values.
+	digest atomic.Pointer[uint64]
 }
 
 // Validate checks the template's internal consistency.

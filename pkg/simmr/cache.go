@@ -8,9 +8,10 @@ import (
 // Cache is the content-addressed replay result cache: a sharded,
 // byte-budgeted in-memory LRU in front of an optional on-disk store.
 // The engine's determinism makes it sound by construction — a key is a
-// 128-bit fingerprint over (trace hash, config, policy), so it can only
-// hit an entry computed from the very same inputs, and corrupted
-// entries silently fall back to recompute. Share one Cache across
+// 128-bit fingerprint over (full-content trace digest, config, policy,
+// engine semantics version), so it can only hit an entry computed from
+// the very same inputs, and corrupted entries silently fall back to
+// recompute. Share one Cache across
 // Replays, sweeps, and batches; all methods are safe for concurrent
 // use, and a nil *Cache disables caching everywhere it is accepted.
 //
@@ -72,5 +73,8 @@ func cacheKey(c *Cache, cfg ReplayConfig, tr *Trace, p Policy) (rcache.Key, bool
 	if c == nil || tr == nil || p == nil {
 		return rcache.Key{}, false
 	}
-	return rcache.KeyFor(tr.Hash(), cfg, p)
+	// ContentHash, not Hash: the structural hash samples only duration
+	// boundaries, which would let an interior what-if edit hit stale
+	// entries. The registry keeps the cheap Hash; keying needs content.
+	return rcache.KeyFor(tr.ContentHash(), cfg, p)
 }

@@ -84,7 +84,7 @@ func TestCacheDifferentialAllPolicies(t *testing.T) {
 				}
 				// Byte-level identity: the canonical encodings must match,
 				// not merely compare DeepEqual.
-				key, ok := rcache.KeyFor(tr.Hash(), cc.cfg, pc.mk())
+				key, ok := rcache.KeyFor(tr.ContentHash(), cc.cfg, pc.mk())
 				if !ok {
 					t.Fatal("built-in policy must fingerprint")
 				}

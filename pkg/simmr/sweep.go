@@ -193,12 +193,14 @@ func CapacitySweepCtx(ctx context.Context, tr *Trace, cfg SweepConfig) ([]SweepP
 		tel.ExpectRuns(len(sel))
 		pool.OnGet = tel.PoolGet
 	}
-	// The trace hash is cell-invariant; hoisting it keeps the per-cell
-	// cache-key cost independent of trace size.
+	// The full-content trace digest is cell-invariant; hoisting it keeps
+	// the per-cell cache-key cost independent of trace size (ContentHash
+	// walks every duration entry, so per-cell recomputation would scale
+	// the sweep's key cost by the grid size).
 	var trHash uint64
 	var hits atomic.Uint64
 	if cfg.Cache != nil {
-		trHash = tr.Hash()
+		trHash = tr.ContentHash()
 	}
 	run := beginRun(cfg.Runs, runs.KindSweep, tr, cfg.Policy,
 		fmt.Sprintf("grid=%dx%d shards=%d", len(cfg.MapSlotCounts), rows, max(cfg.Shards, 1)))
